@@ -1,0 +1,82 @@
+// Ablation: how many training steps per epoch must the efficient sampling
+// strategy profile? The paper uses 5 (plus warm-up discarding). This bench
+// sweeps the step count and reports model error and profiling cost, plus
+// the effect of *not* discarding the warm-up epoch.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "profiling/profiler.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+namespace {
+
+struct Variant {
+    std::string name;
+    profiling::SamplingStrategy strategy;
+};
+
+}  // namespace
+
+int main() {
+    bench::print_header("Ablation: sampled steps per epoch & warm-up discard",
+                        "the sampling strategy of Section 2.2");
+
+    std::vector<Variant> variants;
+    for (const int steps : {1, 2, 5, 10, 20}) {
+        profiling::SamplingStrategy s = profiling::SamplingStrategy::efficient();
+        s.train_steps_per_epoch = steps;
+        s.val_steps_per_epoch = std::min<std::int64_t>(steps, 5);
+        variants.push_back({std::to_string(steps) + " steps", s});
+    }
+    {
+        // Keep the warm-up epoch in the data (epoch 0 not discarded).
+        profiling::SamplingStrategy s = profiling::SamplingStrategy::efficient();
+        s.discard_warmup_epochs = 0;
+        variants.push_back({"5 steps, keep warm-up", s});
+    }
+
+    Table table({"variant", "bias@10", "err@40", "err@64",
+                 "profiling cost [s]"});
+    for (const auto& v : variants) {
+        ExperimentSpec spec = bench::make_spec("CIFAR-10",
+                                               hw::SystemSpec::deep(),
+                                               parallel::StrategyKind::Data,
+                                               parallel::ScalingMode::Weak);
+        spec.sampling = v.strategy;
+        spec.evaluation_ranks = {40, 64};
+        const ExperimentRunner runner(spec);
+        const ExperimentResult result = runner.run();
+        // Bias inside the modeled range: warm-up contamination inflates the
+        // model uniformly, visible against an independent steady-state run.
+        const double meas10 = runner.measured_epoch_time(10);
+        const double bias10 =
+            100.0 * (result.epoch_time.evaluate(10) - meas10) / meas10;
+        double errs[2];
+        int i = 0;
+        for (const int x : spec.evaluation_ranks) {
+            const double meas = runner.measured_epoch_time(x);
+            errs[i++] =
+                100.0 * std::abs(result.epoch_time.evaluate(x) - meas) / meas;
+        }
+        const double cost =
+            profiling::Profiler(v.strategy)
+                .profiling_cost(sim::TrainingSimulator(runner.workload_for(10)));
+        table.add_row({v.name, fmtx::percent(bias10), fmtx::percent(errs[0]),
+                       fmtx::percent(errs[1]), fmtx::fixed(cost, 2)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf(
+        "Expected: ~5 steps are enough (more steps cost profiling time with\n"
+        "little accuracy gain). Keeping the warm-up epoch inflates the model\n"
+        "uniformly (positive bias@10, from autotuning/retracing in the first\n"
+        "steps); at far extrapolation that bias can accidentally cancel the\n"
+        "systematic underprediction - the model is wrong even where the\n"
+        "error looks small.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: PMNF search-space design vs. extrapolation behaviour. Compares
+// the default 1-term hypotheses (Extra-P's choice, used throughout the
+// paper) with 2-term hypotheses and with narrowed exponent sets, exposing
+// the overfitting risk the search space controls.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+int main() {
+    bench::print_header("Ablation: PMNF search space vs. extrapolation",
+                        "the model-creation methodology of Section 2.3");
+
+    struct Variant {
+        std::string name;
+        modeling::FitOptions options;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"default (1 term, full exponents)", {}});
+    {
+        modeling::FitOptions o;
+        o.space.max_terms = 2;
+        variants.push_back({"2 terms", o});
+    }
+    {
+        modeling::FitOptions o;
+        o.space.poly_exponents = {0.0, 1.0, 2.0};
+        variants.push_back({"integer exponents only", o});
+    }
+    {
+        modeling::FitOptions o;
+        o.space.log_exponents = {0};
+        variants.push_back({"no logarithmic factors", o});
+    }
+
+    const ExperimentSpec spec = [&] {
+        ExperimentSpec s = bench::make_spec("CIFAR-10", hw::SystemSpec::deep(),
+                                            parallel::StrategyKind::Data,
+                                            parallel::ScalingMode::Weak);
+        s.evaluation_ranks = {40, 64};
+        return s;
+    }();
+    const ExperimentRunner runner(spec);
+
+    Table table({"search space", "hypotheses", "model", "fit SMAPE", "err@40",
+                 "err@64"});
+    for (const auto& v : variants) {
+        const ExperimentResult result =
+            runner.run(modeling::ModelGenerator(v.options));
+        double errs[2];
+        int i = 0;
+        for (const int x : spec.evaluation_ranks) {
+            const double meas = runner.measured_epoch_time(x);
+            errs[i++] =
+                100.0 * std::abs(result.epoch_time.evaluate(x) - meas) / meas;
+        }
+        table.add_row({v.name,
+                       std::to_string(result.epoch_time.quality().hypotheses_searched),
+                       result.epoch_time.to_string(),
+                       fmtx::percent(result.epoch_time.quality().fit_smape, 2),
+                       fmtx::percent(errs[0]), fmtx::percent(errs[1])});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf(
+        "Expected: 2-term hypotheses chase noise with extra terms and\n"
+        "extrapolate worse despite equal fit quality. Narrow spaces can win\n"
+        "on individual series whose truth happens to be polynomial-like (as\n"
+        "here, where the contention term is ~sqrt(x1)), but lose generality:\n"
+        "latency-bound collectives and tree algorithms need the logarithmic\n"
+        "factors. The 1-term full space is Extra-P's robust default.\n");
+    return 0;
+}

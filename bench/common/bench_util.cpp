@@ -1,0 +1,152 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace extradeep::bench {
+
+std::vector<int> modeling_nodes() { return {2, 4, 6, 8, 10}; }
+
+std::vector<int> evaluation_nodes() {
+    return {12, 16, 24, 32, 40, 48, 56, 64};
+}
+
+std::vector<int> case_study_modeling_ranks() { return {2, 4, 6, 10, 12}; }
+
+std::vector<int> case_study_evaluation_ranks() {
+    return {14, 16, 18, 20, 24, 28, 32, 36, 40, 48, 56, 64};
+}
+
+std::int64_t batch_for(const std::string& dataset,
+                       parallel::ScalingMode mode) {
+    if (mode == parallel::ScalingMode::Weak) {
+        // 224x224 activations of EfficientNet-B0 do not fit a 16 GiB V100 at
+        // B=256; ImageNet trains with 64 samples per worker.
+        return dataset == "ImageNet" ? 64 : 256;
+    }
+    // Strong scaling shards a fixed dataset; the batch must stay small
+    // enough that the largest configuration still completes a step.
+    if (dataset == "IMDB") {
+        return 32;
+    }
+    return 64;
+}
+
+int ranks_for_nodes(const hw::SystemSpec& system, int nodes) {
+    return nodes * system.gpus_per_node;
+}
+
+ExperimentSpec make_spec(const std::string& dataset,
+                         const hw::SystemSpec& system,
+                         parallel::StrategyKind strategy,
+                         parallel::ScalingMode scaling) {
+    ExperimentSpec spec;
+    spec.dataset = dataset;
+    spec.system = system;
+    spec.strategy = strategy;
+    spec.scaling = scaling;
+    spec.batch_per_worker = batch_for(dataset, scaling);
+    spec.model_parallel_degree = 4;
+    spec.modeling_ranks.clear();
+    for (const int n : modeling_nodes()) {
+        spec.modeling_ranks.push_back(ranks_for_nodes(system, n));
+    }
+    spec.evaluation_ranks.clear();
+    for (const int n : evaluation_nodes()) {
+        spec.evaluation_ranks.push_back(ranks_for_nodes(system, n));
+    }
+    // Tensor/pipeline parallelism needs ranks divisible by M.
+    if (strategy != parallel::StrategyKind::Data) {
+        auto divisible = [&](std::vector<int>& ranks) {
+            std::vector<int> ok;
+            for (const int r : ranks) {
+                if (r % spec.model_parallel_degree == 0 &&
+                    r / spec.model_parallel_degree >= 2) {
+                    ok.push_back(r);
+                }
+            }
+            ranks = ok;
+        };
+        divisible(spec.modeling_ranks);
+        divisible(spec.evaluation_ranks);
+        if (spec.modeling_ranks.size() < 5) {
+            // One GPU per node: use multiples of M directly (M..5M).
+            spec.modeling_ranks.clear();
+            for (int i = 2; spec.modeling_ranks.size() < 5; ++i) {
+                spec.modeling_ranks.push_back(i * spec.model_parallel_degree);
+            }
+            spec.evaluation_ranks.clear();
+            for (const int n : evaluation_nodes()) {
+                const int r = ranks_for_nodes(system, n);
+                if (r % spec.model_parallel_degree == 0 &&
+                    r > spec.modeling_ranks.back()) {
+                    spec.evaluation_ranks.push_back(r);
+                }
+            }
+        }
+    }
+    spec.repetitions = 5;
+    spec.seed = 7;
+    return spec;
+}
+
+SeriesResult run_series(const ExperimentSpec& spec) {
+    SeriesResult out;
+    out.spec = spec;
+    const ExperimentRunner runner(spec);
+    out.result = runner.run();
+
+    const int gpus = spec.system.gpus_per_node;
+    for (std::size_t i = 0; i < out.result.modeling_xs.size(); ++i) {
+        const double x = out.result.modeling_xs[i];
+        const int node = static_cast<int>(x) / gpus;
+        const double pred = out.result.epoch_time.evaluate(x);
+        const double data_value = out.result.epoch_time_values[i];
+        out.accuracy_pct[node] =
+            100.0 * std::abs(pred - data_value) / data_value;
+        out.predicted_s[node] = pred;
+        out.measured_s[node] = data_value;
+    }
+    for (const int ranks : spec.evaluation_ranks) {
+        const int node = ranks / gpus;
+        const double pred = out.result.epoch_time.evaluate(ranks);
+        const double measured = runner.measured_epoch_time(ranks);
+        out.prediction_pct[node] =
+            100.0 * std::abs(pred - measured) / measured;
+        out.predicted_s[node] = pred;
+        out.measured_s[node] = measured;
+    }
+    return out;
+}
+
+double mpe_at(const std::vector<SeriesResult>& series, int node,
+              bool prediction) {
+    std::vector<double> errors;
+    for (const auto& s : series) {
+        const auto& m = prediction ? s.prediction_pct : s.accuracy_pct;
+        const auto it = m.find(node);
+        if (it != m.end()) {
+            errors.push_back(it->second);
+        }
+    }
+    if (errors.empty()) {
+        throw InvalidArgumentError("mpe_at: no series covers node count " +
+                                   std::to_string(node));
+    }
+    return stats::median(errors);
+}
+
+void print_header(const std::string& title, const std::string& paper_ref) {
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s of \"Extra-Deep: Automated Empirical\n",
+                paper_ref.c_str());
+    std::printf("Performance Modeling for Distributed Deep Learning\" (SC-W 2023)\n");
+    std::printf("Substrate: simulated DEEP/JURECA clusters (see DESIGN.md)\n");
+    std::printf("==============================================================\n\n");
+}
+
+}  // namespace extradeep::bench

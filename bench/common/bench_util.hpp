@@ -1,0 +1,62 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extradeep/models.hpp"
+#include "extradeep/runner.hpp"
+
+namespace extradeep::bench {
+
+/// The node grids of the paper's evaluation (Sec. 4.1 / Figs. 5-7 x-axes).
+/// On DEEP one rank per node; on JURECA four (one per GPU), so ranks =
+/// nodes * gpus_per_node on both systems.
+std::vector<int> modeling_nodes();    // {2, 4, 6, 8, 10}
+std::vector<int> evaluation_nodes();  // {12, 16, 24, 32, 40, 48, 56, 64}
+
+/// Case-study grids (Sec. 2.3): P(x1) = {2,4,6,10,12} and twelve
+/// evaluation points up to 64 ranks.
+std::vector<int> case_study_modeling_ranks();
+std::vector<int> case_study_evaluation_ranks();
+
+/// Batch size per worker used for a benchmark/scaling combination. Weak
+/// scaling uses the paper's 256; strong scaling uses smaller batches so the
+/// sharded dataset still yields at least one step at 64 nodes.
+std::int64_t batch_for(const std::string& dataset, parallel::ScalingMode mode);
+
+/// Builds the standard evaluation spec: node grids mapped to ranks for the
+/// system, per-benchmark batch size, 5 repetitions.
+ExperimentSpec make_spec(const std::string& dataset,
+                         const hw::SystemSpec& system,
+                         parallel::StrategyKind strategy,
+                         parallel::ScalingMode scaling);
+
+/// One fully evaluated experiment series: the fitted application model, its
+/// accuracy at the modeling points (vs. the data used for modeling, the
+/// paper's "model accuracy") and its predictive power at the evaluation
+/// points (vs. independent measured runs), keyed by *node* count.
+struct SeriesResult {
+    ExperimentSpec spec;
+    ExperimentResult result;
+    std::map<int, double> accuracy_pct;
+    std::map<int, double> prediction_pct;
+    std::map<int, double> predicted_s;
+    std::map<int, double> measured_s;
+};
+
+/// Runs one experiment series end to end.
+SeriesResult run_series(const ExperimentSpec& spec);
+
+/// Median of the values at `node` over several series (the MPE bars of
+/// Figs. 5-7); series lacking the node are skipped. Throws if none has it.
+double mpe_at(const std::vector<SeriesResult>& series, int node,
+              bool prediction);
+
+/// Nodes -> ranks for a system.
+int ranks_for_nodes(const hw::SystemSpec& system, int nodes);
+
+/// Prints the standard bench header (paper reference + system line).
+void print_header(const std::string& title, const std::string& paper_ref);
+
+}  // namespace extradeep::bench

@@ -1,0 +1,136 @@
+// Fig. 3 + the running CIFAR-10 case study (Secs. 2.3 and 3): training time
+// per epoch of ResNet-50/CIFAR-10 on DEEP, data parallel, weak scaling,
+// B = 256 per rank; modeling points x1 = {2,4,6,10,12}, evaluation points up
+// to 64 ranks; 95 % confidence intervals and run-to-run variation; plus the
+// Q1-Q5 answers (epoch-time model, communication bottleneck, cost model,
+// most cost-effective configuration).
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/config_search.hpp"
+#include "analysis/cost.hpp"
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+int main() {
+    bench::print_header("Fig. 3 + case study: training time per epoch model",
+                        "Figure 3, Sections 2.3 and 3.1-3.3");
+
+    ExperimentSpec spec;
+    spec.dataset = "CIFAR-10";
+    spec.system = hw::SystemSpec::deep();
+    spec.strategy = parallel::StrategyKind::Data;
+    spec.scaling = parallel::ScalingMode::Weak;
+    spec.batch_per_worker = 256;
+    spec.modeling_ranks = bench::case_study_modeling_ranks();
+    spec.evaluation_ranks = bench::case_study_evaluation_ranks();
+    spec.repetitions = 5;
+    spec.seed = 7;
+    std::printf("Experiment: %s\n", spec.describe().c_str());
+    std::printf("System:     %s\n\n", spec.system.describe().c_str());
+
+    const ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+
+    std::printf("Q1 model: T_epoch(x1) = %s\n", result.epoch_time.to_string().c_str());
+    std::printf("          (paper: 158.58 + 0.58 * x1^(2/3) * log2(x1)^2)\n");
+    std::printf("          T_epoch(40) = %.2f s  (paper: 352.37 s)\n\n",
+                result.epoch_time.evaluate(40.0));
+
+    Table table({"x1", "kind", "predicted [s]", "measured [s]", "err",
+                 "95% CI", "in CI", "run-to-run"});
+    std::vector<double> accuracy_errors;
+    std::vector<double> prediction_errors;
+    auto add_row = [&](int x, bool modeling) {
+        const auto ci = result.epoch_time.predict_interval(x, 0.95);
+        const auto reps = runner.measured_epoch_times_all_reps(x);
+        double reference;
+        if (modeling) {
+            // Model accuracy: error vs. the data point used for modeling.
+            std::size_t idx = 0;
+            for (std::size_t i = 0; i < result.modeling_xs.size(); ++i) {
+                if (result.modeling_xs[i] == x) idx = i;
+            }
+            reference = result.epoch_time_values[idx];
+        } else {
+            reference = stats::median(reps);
+        }
+        const double err = 100.0 * std::abs(ci.prediction - reference) /
+                           reference;
+        (modeling ? accuracy_errors : prediction_errors).push_back(err);
+        table.add_row(
+            {std::to_string(x), modeling ? "model" : "eval",
+             fmtx::fixed(ci.prediction, 2), fmtx::fixed(reference, 2),
+             fmtx::percent(err),
+             "[" + fmtx::fixed(ci.lower, 1) + ", " + fmtx::fixed(ci.upper, 1) +
+                 "]",
+             (reference >= ci.lower && reference <= ci.upper) ? "yes" : "no",
+             fmtx::percent(stats::run_to_run_variation(reps))});
+    };
+    for (const int x : spec.modeling_ranks) add_row(x, true);
+    for (const int x : spec.evaluation_ranks) add_row(x, false);
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("Model accuracy (modeling pts):  max err %s (paper: 0.1-1.2%%)\n",
+                fmtx::percent(stats::max(accuracy_errors)).c_str());
+    std::printf("Predictive power (eval pts):    max err %s (paper: up to 28.8%%)\n\n",
+                fmtx::percent(stats::max(prediction_errors)).c_str());
+
+    // Q2/Q3: scalability and the communication bottleneck.
+    const auto& comm =
+        result.phase_time[static_cast<int>(trace::Phase::Communication)];
+    std::printf("Q3 bottleneck: T_comm(x1) = %s\n", comm.to_string().c_str());
+    std::printf("   T_comm(2) = %.2f s, T_comm(64) = %.2f s"
+                "  (paper: 34.41 s -> 296.57 s)\n",
+                comm.evaluate(2.0), comm.evaluate(64.0));
+    {
+        std::vector<analysis::NamedModel> phases;
+        const char* names[] = {"computation", "communication", "memory ops"};
+        for (int p = 0; p < trace::kPhaseCount; ++p) {
+            phases.push_back(
+                {names[p], result.phase_time[p].train_step_model()});
+        }
+        const auto ranked = analysis::rank_by_growth(phases, 64.0);
+        std::printf("   fastest-growing phase: %s %s\n\n",
+                    ranked.front().name.c_str(), ranked.front().growth.c_str());
+    }
+
+    // Q4: cost model (Eq. 14).
+    std::vector<double> xs;
+    std::vector<double> runtimes;
+    for (const int x : spec.modeling_ranks) {
+        xs.push_back(x);
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < result.modeling_xs.size(); ++i) {
+            if (result.modeling_xs[i] == x) idx = i;
+        }
+        runtimes.push_back(result.epoch_time_values[idx]);
+    }
+    const auto cost_fn =
+        analysis::core_hours_cost(spec.system.cores_per_rank);
+    const auto cost_model = analysis::model_cost(xs, runtimes, cost_fn);
+    std::printf("Q4 cost model: C_epoch(x1) = %s core hours\n",
+                cost_model.to_string().c_str());
+    std::printf("   (paper: 0.082 * x1^1.62;  C(32) = %.2f core hours, paper: 22.49)\n\n",
+                cost_model.evaluate(32.0));
+
+    // Q5: most cost-effective configuration under weak scaling.
+    std::vector<double> candidates;
+    for (const int x : spec.modeling_ranks) candidates.push_back(x);
+    for (const int x : spec.evaluation_ranks) candidates.push_back(x);
+    const auto search = analysis::find_cost_effective_config(
+        [&](double x) { return result.epoch_time.evaluate(x); }, candidates,
+        cost_fn, {}, parallel::ScalingMode::Weak);
+    if (search.best) {
+        std::printf("Q5: most cost-effective weak-scaling configuration: x1 = %d"
+                    "  (paper: x1 = 2)\n",
+                    static_cast<int>(search.candidates[*search.best].ranks));
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 4(b): identification of cost-effective training configurations for
+// strong scaling - predicted training time and cost per epoch over the node
+// count, a target training time and a budget, the feasible intervals, and
+// the most cost-effective configuration (highest Eq. 13 efficiency among the
+// feasible candidates). Also prints the trivial weak-scaling determination
+// (Sec. 3.3: the smallest allocation always wins).
+
+#include <cstdio>
+
+#include "analysis/config_search.hpp"
+#include "bench_util.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+namespace {
+
+void print_search(const analysis::ConfigSearchResult& search,
+                  const analysis::ConfigSearchLimits& limits) {
+    Table table({"nodes", "time [s]", "cost [core-h]", "efficiency",
+                 "time ok", "cost ok", "chosen"});
+    for (std::size_t i = 0; i < search.candidates.size(); ++i) {
+        const auto& c = search.candidates[i];
+        table.add_row({fmtx::fixed(c.ranks, 0), fmtx::fixed(c.time_s, 2),
+                       fmtx::fixed(c.cost, 3), fmtx::percent(c.efficiency_pct),
+                       c.feasible_time ? "yes" : "no",
+                       c.feasible_cost ? "yes" : "no",
+                       search.best && *search.best == i ? "<== best" : ""});
+    }
+    std::printf("limits: max time %.1f s, budget %.2f core hours\n%s\n",
+                limits.max_time_s, limits.max_cost,
+                table.to_string().c_str());
+    if (!search.best) {
+        std::printf("no configuration is both technically possible and "
+                    "economically feasible\n\n");
+    }
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header(
+        "Fig. 4: cost-effective training configurations",
+        "Figure 4(b), Section 3.3");
+
+    // Strong-scaling example: ResNet-50/CIFAR-10 on DEEP with a fixed
+    // dataset; training time falls with nodes while cost rises.
+    ExperimentSpec spec = bench::make_spec("CIFAR-10", hw::SystemSpec::deep(),
+                                           parallel::StrategyKind::Data,
+                                           parallel::ScalingMode::Strong);
+    std::printf("Experiment: %s\n\n", spec.describe().c_str());
+    const ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+    std::printf("runtime model: T_epoch(x1) = %s\n\n",
+                result.epoch_time.to_string().c_str());
+
+    const auto cost_fn = analysis::core_hours_cost(spec.system.cores_per_rank);
+    const std::vector<double> candidates = {16, 24, 32, 40, 48, 56, 64};
+
+    // Choose the targets like Fig. 4(b): the time limit cuts off the small
+    // configurations, the budget cuts off the large ones.
+    analysis::ConfigSearchLimits limits;
+    limits.max_time_s = result.epoch_time.evaluate(28.0);
+    limits.max_cost = cost_fn(result.epoch_time.evaluate(48.0), 48.0);
+
+    std::printf("--- strong scaling (Fig. 4b) ---\n");
+    const auto strong = analysis::find_cost_effective_config(
+        [&](double x) { return result.epoch_time.evaluate(x); }, candidates,
+        cost_fn, limits, parallel::ScalingMode::Strong);
+    print_search(strong, limits);
+
+    std::printf("--- strong scaling, infeasible budget ---\n");
+    analysis::ConfigSearchLimits tight = limits;
+    tight.max_cost = limits.max_cost / 100.0;
+    print_search(analysis::find_cost_effective_config(
+                     [&](double x) { return result.epoch_time.evaluate(x); },
+                     candidates, cost_fn, tight,
+                     parallel::ScalingMode::Strong),
+                 tight);
+
+    // Weak scaling: smallest allocation always wins (paper Sec. 3.3).
+    std::printf("--- weak scaling ---\n");
+    ExperimentSpec weak_spec = bench::make_spec(
+        "CIFAR-10", hw::SystemSpec::deep(), parallel::StrategyKind::Data,
+        parallel::ScalingMode::Weak);
+    const ExperimentRunner weak_runner(weak_spec);
+    const ExperimentResult weak_result = weak_runner.run();
+    analysis::ConfigSearchLimits weak_limits;
+    weak_limits.max_time_s = weak_result.epoch_time.evaluate(40.0);
+    const auto weak = analysis::find_cost_effective_config(
+        [&](double x) { return weak_result.epoch_time.evaluate(x); },
+        {2, 4, 8, 16, 32, 64}, cost_fn, weak_limits,
+        parallel::ScalingMode::Weak);
+    print_search(weak, weak_limits);
+    return 0;
+}

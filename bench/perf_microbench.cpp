@@ -1,0 +1,132 @@
+// google-benchmark microbenchmarks of the framework's own hot paths:
+// PMNF model fitting, measurement aggregation, trace generation, and EDP
+// serialisation. These are the costs a user pays per modeled kernel /
+// profiled run, independent of the simulated application.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "aggregation/aggregate.hpp"
+#include "common/rng.hpp"
+#include "modeling/fitter.hpp"
+#include "profiling/edp_io.hpp"
+#include "profiling/profiler.hpp"
+#include "sim/simulator.hpp"
+
+using namespace extradeep;
+
+namespace {
+
+sim::Workload bench_workload(int ranks) {
+    return sim::Workload::make("CIFAR-10", hw::SystemSpec::deep(),
+                               parallel::ParallelConfig::data(ranks),
+                               parallel::ScalingMode::Weak, 256);
+}
+
+std::vector<profiling::ProfiledRun> sample_runs(int ranks, int reps) {
+    const sim::TrainingSimulator simulator(bench_workload(ranks));
+    const profiling::Profiler profiler(profiling::SamplingStrategy::efficient());
+    std::vector<profiling::ProfiledRun> runs;
+    for (int rep = 0; rep < reps; ++rep) {
+        runs.push_back(profiler.profile(
+            simulator, {{"x1", static_cast<double>(ranks)}}, rep));
+    }
+    return runs;
+}
+
+void BM_ModelFit_1Term(benchmark::State& state) {
+    Rng rng(1);
+    std::vector<double> xs = {2, 4, 6, 8, 10};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back((10.0 + 3.0 * x) * rng.lognormal_factor(0.03));
+    }
+    const modeling::ModelGenerator gen;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.fit(xs, ys));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelFit_1Term)->Unit(benchmark::kMillisecond);
+
+void BM_ModelFit_2Terms(benchmark::State& state) {
+    Rng rng(1);
+    std::vector<double> xs = {2, 4, 6, 8, 10, 12, 16};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back((10.0 + 3.0 * x) * rng.lognormal_factor(0.03));
+    }
+    modeling::FitOptions opts;
+    opts.space.max_terms = 2;
+    const modeling::ModelGenerator gen(opts);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.fit(xs, ys));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelFit_2Terms)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+    const sim::TrainingSimulator simulator(
+        bench_workload(static_cast<int>(state.range(0))));
+    sim::TraceOptions opts;
+    opts.epochs = 2;
+    opts.train_steps_per_epoch = 5;
+    opts.val_steps_per_epoch = 5;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        opts.run_seed = ++seed;
+        benchmark::DoNotOptimize(simulator.trace_rank(0, opts));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration)->Arg(4)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_Aggregation(benchmark::State& state) {
+    const auto runs = sample_runs(static_cast<int>(state.range(0)), 5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aggregation::aggregate_runs(runs));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Aggregation)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_EdpWrite(benchmark::State& state) {
+    const auto runs = sample_runs(4, 1);
+    for (auto _ : state) {
+        std::ostringstream os;
+        profiling::write_edp(os, runs.front());
+        benchmark::DoNotOptimize(os.str());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EdpWrite)->Unit(benchmark::kMillisecond);
+
+void BM_EdpRead(benchmark::State& state) {
+    const auto runs = sample_runs(4, 1);
+    std::ostringstream os;
+    profiling::write_edp(os, runs.front());
+    const std::string text = os.str();
+    for (auto _ : state) {
+        std::istringstream is(text);
+        benchmark::DoNotOptimize(profiling::read_edp(is));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_EdpRead)->Unit(benchmark::kMillisecond);
+
+void BM_EpochMeasurement(benchmark::State& state) {
+    const sim::TrainingSimulator simulator(bench_workload(32));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulator.measure_epoch_wall(++seed));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochMeasurement)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Bottleneck hunting with kernel-level models (Sec. 3.1): model every
+// instrumented kernel of the Speech Commands benchmark under pipeline
+// parallelism on JURECA, rank the models by asymptotic growth, inspect the
+// speedup/efficiency models, and show per-metric kernel predictions (visits
+// and transferred bytes) - the analyses Extra-Deep automates that manual
+// profiling tools do not.
+
+#include <cstdio>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/speedup.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "extradeep/models.hpp"
+#include "extradeep/runner.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+int main() {
+    ExperimentSpec spec;
+    spec.dataset = "Speech Commands";
+    spec.system = hw::SystemSpec::jureca();
+    spec.strategy = parallel::StrategyKind::Pipeline;
+    spec.model_parallel_degree = 4;
+    spec.scaling = parallel::ScalingMode::Weak;
+    spec.batch_per_worker = 256;
+    spec.modeling_ranks = {8, 16, 24, 32, 40};
+    spec.evaluation_ranks = {};
+    spec.repetitions = 5;
+    std::printf("Bottleneck analysis: %s\n\n", spec.describe().c_str());
+
+    const ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+
+    const auto entries = model_kernels(
+        result.data, result.step_math_fn,
+        {aggregation::Metric::Time, aggregation::Metric::Visits,
+         aggregation::Metric::Bytes});
+    std::printf("created %zu kernel models from %zu modelable kernels\n\n",
+                entries.size(),
+                result.data.modelable_kernels().size());
+
+    // Rank runtime models by growth trend - the kernels that will become
+    // the bottleneck at scale come first.
+    std::vector<analysis::NamedModel> runtime_models;
+    for (const auto& e : entries) {
+        if (e.metric == aggregation::Metric::Time) {
+            runtime_models.push_back({e.name, e.model.train_step_model()});
+        }
+    }
+    const double target = 256.0;  // 64 nodes
+    const auto ranked = analysis::rank_by_growth(runtime_models, target);
+    Table growth({"kernel", "growth", "per-step time @256 ranks"});
+    for (std::size_t i = 0; i < 10 && i < ranked.size(); ++i) {
+        growth.add_row({ranked[i].name, ranked[i].growth,
+                        fmtx::seconds(ranked[i].predicted_at_target)});
+    }
+    std::printf("top kernels by asymptotic growth (Sec. 3.1):\n%s\n",
+                growth.to_string().c_str());
+
+    // Speedup and efficiency models of the whole application (Eqs. 11-13).
+    std::vector<double> xs;
+    std::vector<double> runtimes;
+    for (const double x : result.modeling_xs) {
+        xs.push_back(x);
+        runtimes.push_back(result.epoch_time.evaluate(x));
+    }
+    const auto speedup_model = analysis::model_speedup(xs, runtimes);
+    const auto efficiency_model = analysis::model_efficiency(xs, runtimes);
+    std::printf("speedup model (Eq. 12):     %s\n",
+                speedup_model.to_string().c_str());
+    std::printf("efficiency model (Sec. 3.2): %s\n\n",
+                efficiency_model.to_string().c_str());
+
+    // Other metrics: visits and transferred bytes per epoch at scale.
+    Table metrics({"kernel", "metric", "predicted @256 ranks"});
+    int shown = 0;
+    for (const auto& e : entries) {
+        if (e.metric == aggregation::Metric::Time) continue;
+        const double v = e.model.evaluate(target);
+        if (v <= 0.0) continue;
+        metrics.add_row({e.name, std::string(aggregation::metric_name(e.metric)),
+                         e.metric == aggregation::Metric::Bytes
+                             ? fmtx::bytes(v)
+                             : fmtx::count(static_cast<std::int64_t>(v))});
+        if (++shown >= 10) break;
+    }
+    std::printf("per-epoch visit/byte predictions:\n%s", metrics.to_string().c_str());
+    return 0;
+}

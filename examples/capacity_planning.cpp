@@ -1,0 +1,92 @@
+// Capacity planning with Extra-Deep (Sec. 3.3): a team must train
+// EfficientNet-B0 on ImageNet on the JURECA system under a fixed compute
+// budget and a deadline. The example models the training time from cheap
+// small-scale profiles, converts core hours into money, and sweeps several
+// budget/deadline scenarios to find the cost-effective allocation for each.
+
+#include <cstdio>
+
+#include "analysis/config_search.hpp"
+#include "analysis/cost.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "extradeep/runner.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+int main() {
+    ExperimentSpec spec;
+    spec.dataset = "ImageNet";
+    spec.system = hw::SystemSpec::jureca();
+    spec.strategy = parallel::StrategyKind::Data;
+    spec.scaling = parallel::ScalingMode::Strong;  // fixed dataset, more GPUs
+    spec.batch_per_worker = 64;
+    spec.modeling_ranks = {8, 16, 24, 32, 40};  // 2-10 nodes, cheap to measure
+    spec.evaluation_ranks = {};
+    spec.repetitions = 5;
+
+    std::printf("Capacity planning: %s\n", spec.describe().c_str());
+    std::printf("System: %s\n\n", spec.system.describe().c_str());
+
+    const ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+    std::printf("T_epoch(x1) = %s\n\n", result.epoch_time.to_string().c_str());
+
+    // Eq. 14 in core hours, then converted to money. Extra-Deep supports
+    // custom cost formulas; assume 0.007 EUR per core hour (typical academic
+    // HPC accounting).
+    constexpr double kEurPerCoreHour = 0.007;
+    const auto core_hours = analysis::core_hours_cost(spec.system.cores_per_rank);
+    const analysis::CostFunction euros = [&](double runtime_s, double ranks) {
+        return core_hours(runtime_s, ranks) * kEurPerCoreHour;
+    };
+
+    const std::vector<double> candidates = {8,  16,  32,  64, 96,
+                                            128, 160, 192, 224, 256};
+    constexpr int kEpochs = 90;  // a full EfficientNet training run
+
+    struct Scenario {
+        const char* name;
+        double deadline_h;   // wall-clock limit for the whole run
+        double budget_eur;   // money limit for the whole run
+    };
+    const Scenario scenarios[] = {
+        {"generous budget, tight deadline", 24.0, 10000.0},
+        {"tight budget, loose deadline", 120.0, 600.0},
+        {"balanced", 48.0, 1200.0},
+        {"impossible", 2.0, 50.0},
+    };
+
+    for (const auto& sc : scenarios) {
+        analysis::ConfigSearchLimits limits;
+        limits.max_time_s = sc.deadline_h * 3600.0 / kEpochs;  // per epoch
+        limits.max_cost = sc.budget_eur / kEpochs;
+        const auto search = analysis::find_cost_effective_config(
+            [&](double x) { return result.epoch_time.evaluate(x); },
+            candidates, euros, limits, spec.scaling);
+
+        std::printf("--- scenario: %s (deadline %.0f h, budget %.0f EUR) ---\n",
+                    sc.name, sc.deadline_h, sc.budget_eur);
+        Table table({"ranks", "nodes", "epoch [s]", "run [h]", "run [EUR]",
+                     "eff", "feasible", "chosen"});
+        for (std::size_t i = 0; i < search.candidates.size(); ++i) {
+            const auto& c = search.candidates[i];
+            table.add_row({fmtx::fixed(c.ranks, 0),
+                           fmtx::fixed(c.ranks / spec.system.gpus_per_node, 0),
+                           fmtx::fixed(c.time_s, 1),
+                           fmtx::fixed(c.time_s * kEpochs / 3600.0, 1),
+                           fmtx::fixed(c.cost * kEpochs, 0),
+                           fmtx::percent(c.efficiency_pct, 0),
+                           c.feasible() ? "yes" : "no",
+                           search.best && *search.best == i ? "<==" : ""});
+        }
+        std::printf("%s", table.to_string().c_str());
+        if (!search.best) {
+            std::printf("no feasible configuration - relax the deadline or "
+                        "increase the budget\n");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,146 @@
+// The paper's running case study (Secs. 2-3), end to end: train ResNet-50 on
+// CIFAR-10 with TensorFlow+Horovod-style data parallelism on the DEEP
+// system, profile five small configurations with the efficient sampling
+// strategy, create performance models, and answer the five developer
+// questions Q1-Q5 from Sec. 1.1.
+//
+// This example exercises the full toolchain, including the NVTX
+// instrumentation step and the EDP profile files a real deployment would
+// archive.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/config_search.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/speedup.hpp"
+#include "common/format.hpp"
+#include "extradeep/models.hpp"
+#include "extradeep/runner.hpp"
+#include "instrument/pyinstrument.hpp"
+#include "profiling/edp_io.hpp"
+
+using namespace extradeep;
+
+int main() {
+    // ------------------------------------------------------------------
+    // Step 1 (Fig. 1): instrument the training script. Extra-Deep's static
+    // analyzer injects nvtx.annotate decorators and epoch/step ranges.
+    // ------------------------------------------------------------------
+    const std::string training_script =
+        "def train(self):\n"
+        "    for epoch in range(EPOCHS):\n"
+        "        for b, (images, labels) in enumerate(train_ds.take(s)):\n"
+        "            loss_value = training_step(images, labels, b == 0)\n";
+    const auto instrumented = instrument::instrument_python(training_script);
+    std::printf("--- step 1: instrumentation (%d functions, %d loops) ---\n%s\n",
+                instrumented.functions_annotated, instrumented.loops_annotated,
+                instrumented.source.c_str());
+
+    // ------------------------------------------------------------------
+    // Steps 2-4: profile five configurations (5 reps each, 5 train + 5
+    // validation steps of 2 epochs, warm-up discarded), aggregate, model.
+    // ------------------------------------------------------------------
+    ExperimentSpec spec;
+    spec.dataset = "CIFAR-10";
+    spec.system = hw::SystemSpec::deep();
+    spec.strategy = parallel::StrategyKind::Data;
+    spec.scaling = parallel::ScalingMode::Weak;
+    spec.batch_per_worker = 256;
+    spec.modeling_ranks = {2, 4, 6, 10, 12};
+    spec.evaluation_ranks = {16, 24, 32, 40, 64};
+    spec.repetitions = 5;
+    std::printf("--- steps 2-4: %s ---\n", spec.describe().c_str());
+    const ExperimentRunner runner(spec);
+
+    // Demonstrate the on-disk profile format a real deployment would keep.
+    {
+        const sim::TrainingSimulator simulator(runner.workload_for(4));
+        const profiling::Profiler profiler(spec.sampling);
+        const auto run = profiler.profile(simulator, {{"x1", 4.0}}, 0);
+        const std::string path = "/tmp/extradeep_cifar10_x4_r0.edp";
+        profiling::write_edp_file(path, run);
+        const auto back = profiling::read_edp_file(path);
+        std::printf("wrote %s (%zu ranks, %zu events on rank 0)\n\n",
+                    path.c_str(), back.ranks.size(),
+                    back.ranks.front().events.size());
+    }
+
+    const ExperimentResult result = runner.run();
+
+    // ------------------------------------------------------------------
+    // Q1: how long does one epoch take for a given allocation?
+    // ------------------------------------------------------------------
+    std::printf("Q1. T_epoch(x1) = %s\n", result.epoch_time.to_string().c_str());
+    std::printf("    T_epoch(40 ranks) = %.1f s\n\n",
+                result.epoch_time.evaluate(40));
+
+    // ------------------------------------------------------------------
+    // Q2: how do runtime and efficiency change with the configuration?
+    // ------------------------------------------------------------------
+    std::printf("Q2. scaling behaviour (weak scaling, ideal would be flat):\n");
+    for (const int x : {2, 8, 16, 32, 64}) {
+        std::printf("    x1=%-3d predicted %.1f s/epoch\n", x,
+                    result.epoch_time.evaluate(x));
+    }
+    {
+        const auto eff = analysis::efficiencies(
+            std::vector<double>{2, 8, 16, 32, 64},
+            std::vector<double>{result.epoch_time.evaluate(2),
+                                result.epoch_time.evaluate(8),
+                                result.epoch_time.evaluate(16),
+                                result.epoch_time.evaluate(32),
+                                result.epoch_time.evaluate(64)});
+        std::printf("    parallel efficiency (Eq. 13) at 64 ranks: %.1f%%\n\n",
+                    eff.back());
+    }
+
+    // ------------------------------------------------------------------
+    // Q3: latent bottlenecks - rank kernel models by asymptotic growth.
+    // ------------------------------------------------------------------
+    const auto kernels = model_kernels(result.data, result.step_math_fn,
+                                       {aggregation::Metric::Time});
+    std::vector<analysis::NamedModel> runtime_models;
+    for (const auto& k : kernels) {
+        runtime_models.push_back({k.name, k.model.train_step_model()});
+    }
+    const auto ranked = analysis::rank_by_growth(runtime_models, 64.0);
+    std::printf("Q3. fastest-growing kernels (per training step):\n");
+    for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+        std::printf("    %-28s %-18s %.4f s at x1=64\n", ranked[i].name.c_str(),
+                    ranked[i].growth.c_str(), ranked[i].predicted_at_target);
+    }
+    const auto& comm =
+        result.phase_time[static_cast<int>(trace::Phase::Communication)];
+    std::printf("    communication per epoch: %.1f s at x1=2 -> %.1f s at x1=64\n\n",
+                comm.evaluate(2), comm.evaluate(64));
+
+    // ------------------------------------------------------------------
+    // Q4: cost per epoch (Eq. 14) for a given configuration.
+    // ------------------------------------------------------------------
+    const auto cost_fn = analysis::core_hours_cost(spec.system.cores_per_rank);
+    std::printf("Q4. cost per epoch: C(32 ranks) = %.2f core hours\n\n",
+                cost_fn(result.epoch_time.evaluate(32), 32));
+
+    // ------------------------------------------------------------------
+    // Q5: the most cost-effective configuration for a budget/time frame.
+    // ------------------------------------------------------------------
+    analysis::ConfigSearchLimits limits;
+    limits.max_time_s = 200.0;
+    limits.max_cost = 2.0;  // core hours per epoch
+    const auto search = analysis::find_cost_effective_config(
+        [&](double x) { return result.epoch_time.evaluate(x); },
+        {2, 4, 8, 16, 32, 64}, cost_fn, limits, spec.scaling);
+    std::printf("Q5. budget %.1f core hours/epoch, max %.0f s/epoch:\n",
+                limits.max_cost, limits.max_time_s);
+    if (search.best) {
+        const auto& best = search.candidates[*search.best];
+        std::printf("    most cost-effective configuration: x1 = %.0f"
+                    " (%.1f s, %.2f core hours)\n",
+                    best.ranks, best.time_s, best.cost);
+    } else {
+        std::printf("    no configuration satisfies both limits\n");
+    }
+    return 0;
+}

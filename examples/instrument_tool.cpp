@@ -1,0 +1,57 @@
+// Command-line wrapper around Extra-Deep's automated instrumentation tool
+// (paper Fig. 1, step 1): injects NVTX annotations into Python training
+// scripts so that Nsight Systems profiles carry the epoch/step marks the
+// sampling strategy needs.
+//
+// Usage:
+//   instrument_tool input.py output.py    # instrument a file
+//   instrument_tool                       # run the built-in demo
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "instrument/pyinstrument.hpp"
+
+using namespace extradeep;
+
+int main(int argc, char** argv) {
+    if (argc == 3) {
+        try {
+            const auto result =
+                instrument::instrument_python_file(argv[1], argv[2]);
+            std::printf("%s -> %s: %d function(s), %d loop(s) annotated%s\n",
+                        argv[1], argv[2], result.functions_annotated,
+                        result.loops_annotated,
+                        result.import_added ? ", nvtx import added" : "");
+            return 0;
+        } catch (const Error& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (argc != 1) {
+        std::fprintf(stderr, "usage: %s [input.py output.py]\n", argv[0]);
+        return 2;
+    }
+
+    // Demo: the training loop from the paper's Fig. 1.
+    const std::string demo =
+        "import tensorflow as tf\n"
+        "\n"
+        "class Trainer:\n"
+        "    def train(self):\n"
+        "        for epoch in range(EPOCHS):\n"
+        "            for b, (i, l) in enumerate(train_ds.take(s)):\n"
+        "                loss_value = training_step(images, labels, b == 0)\n"
+        "\n"
+        "    def validate(self):\n"
+        "        for batch in val_ds:\n"
+        "            evaluate(batch)\n";
+    std::printf("--- input ---\n%s\n", demo.c_str());
+    const auto result = instrument::instrument_python(demo);
+    std::printf("--- instrumented (%d functions, %d loops) ---\n%s",
+                result.functions_annotated, result.loops_annotated,
+                result.source.c_str());
+    return 0;
+}

@@ -1,0 +1,90 @@
+// Multi-parameter modeling (Sec. 2.3): the paper defines measurement points
+// P(x1, x2, ...) over several execution parameters - e.g. the number of MPI
+// ranks x1 and the batch size per worker x2 - but evaluates only x1 in
+// depth. This example exercises the multi-parameter PMNF path end to end:
+// measure a 5x5 grid of (ranks, batch) configurations of ResNet-50/CIFAR-10
+// on DEEP, fit a two-parameter model of the time per training step, and
+// predict unmeasured combinations.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "modeling/fitter.hpp"
+#include "sim/simulator.hpp"
+
+using namespace extradeep;
+namespace fmtx = extradeep::fmt;
+
+namespace {
+
+/// Median measured time per training step for one (ranks, batch) point.
+double measured_step_time(int ranks, int batch) {
+    const sim::Workload w = sim::Workload::make(
+        "CIFAR-10", hw::SystemSpec::deep(),
+        parallel::ParallelConfig::data(ranks), parallel::ScalingMode::Weak,
+        batch);
+    const sim::TrainingSimulator simulator(w);
+    std::vector<double> reps;
+    for (std::uint64_t rep = 0; rep < 5; ++rep) {
+        const auto m = simulator.measure_epoch_typical(
+            mix64(0x4d505245ULL, mix64(ranks, mix64(batch, rep))));
+        reps.push_back(m.wall_time /
+                       static_cast<double>(simulator.step_math().train_steps +
+                                           simulator.step_math().val_steps));
+    }
+    return stats::median(reps);
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<int> ranks_grid = {2, 4, 6, 8, 10};
+    const std::vector<int> batch_grid = {32, 64, 128, 256, 512};
+
+    std::printf("Two-parameter experiment: P(x1 = ranks, x2 = batch size)\n");
+    std::printf("ResNet-50 / CIFAR-10 on DEEP, data parallelism, weak scaling\n\n");
+
+    std::vector<std::vector<double>> points;
+    std::vector<double> values;
+    for (const int r : ranks_grid) {
+        for (const int b : batch_grid) {
+            points.push_back({static_cast<double>(r), static_cast<double>(b)});
+            values.push_back(measured_step_time(r, b));
+        }
+    }
+    std::printf("measured %zu grid points (5 reps each)\n\n", points.size());
+
+    const modeling::ModelGenerator generator;
+    const modeling::PerformanceModel model =
+        generator.fit(points, values, {"x1", "x2"});
+    std::printf("t_step(x1, x2) = %s\n", model.to_string().c_str());
+    std::printf("fit SMAPE %.2f%%, R^2 %.4f, %d hypotheses searched\n\n",
+                model.quality().fit_smape, model.quality().r_squared,
+                model.quality().hypotheses_searched);
+
+    // Validate on unmeasured combinations, including extrapolation in both
+    // parameters at once.
+    Table table({"x1", "x2", "predicted", "measured", "err"});
+    std::vector<double> errors;
+    const std::vector<std::pair<int, int>> probes = {
+        {12, 96}, {16, 256}, {24, 64}, {32, 384}, {48, 128}, {64, 256}};
+    for (const auto& [r, b] : probes) {
+        const std::vector<double> pt = {static_cast<double>(r),
+                                        static_cast<double>(b)};
+        const double pred = model.evaluate(pt);
+        const double meas = measured_step_time(r, b);
+        const double err = 100.0 * std::abs(pred - meas) / meas;
+        errors.push_back(err);
+        table.add_row({std::to_string(r), std::to_string(b),
+                       fmtx::seconds(pred), fmtx::seconds(meas),
+                       fmtx::percent(err)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+    std::printf("median prediction error on unmeasured (x1, x2) points: %s\n",
+                fmtx::percent(stats::median(errors)).c_str());
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: model the training time per epoch of ResNet-50/CIFAR-10 on the
+// DEEP system with data parallelism (the paper's running case study), then
+// predict performance at unmeasured scales.
+//
+// Pipeline: simulate + profile 5 modeling configurations -> aggregate the
+// measurements (Fig. 2) -> fit a PMNF model (Eq. 5-7) -> extrapolate.
+
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "extradeep/models.hpp"
+#include "extradeep/runner.hpp"
+
+using namespace extradeep;
+
+int main() {
+    ExperimentSpec spec;
+    spec.dataset = "CIFAR-10";
+    spec.system = hw::SystemSpec::deep();
+    spec.strategy = parallel::StrategyKind::Data;
+    spec.scaling = parallel::ScalingMode::Weak;
+    spec.batch_per_worker = 256;
+    spec.modeling_ranks = {2, 4, 6, 10, 12};
+    spec.evaluation_ranks = {14, 16, 20, 24, 32, 40, 48, 56, 64};
+    spec.repetitions = 5;
+
+    std::printf("Experiment: %s\n", spec.describe().c_str());
+    std::printf("System:     %s\n\n", spec.system.describe().c_str());
+
+    ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+
+    std::printf("T_epoch(x1) = %s   [fit SMAPE %.2f%%, R^2 %.4f]\n\n",
+                result.epoch_time.to_string().c_str(),
+                result.epoch_time.quality().fit_smape,
+                result.epoch_time.quality().r_squared);
+
+    std::printf("%-6s %-12s %-12s %-8s\n", "x1", "predicted", "measured",
+                "error");
+    for (const int x : spec.modeling_ranks) {
+        const double pred = result.epoch_time.evaluate(x);
+        const double meas = runner.measured_epoch_time(x);
+        std::printf("%-6d %-12.2f %-12.2f %6.1f%%  (modeling point)\n", x, pred,
+                    meas, 100.0 * std::abs(pred - meas) / meas);
+    }
+    for (const int x : spec.evaluation_ranks) {
+        const double pred = result.epoch_time.evaluate(x);
+        const double meas = runner.measured_epoch_time(x);
+        std::printf("%-6d %-12.2f %-12.2f %6.1f%%\n", x, pred, meas,
+                    100.0 * std::abs(pred - meas) / meas);
+    }
+
+    std::printf("\nPhase models (per epoch):\n");
+    const char* phase_names[] = {"computation  ", "communication", "memory ops  "};
+    for (int p = 0; p < trace::kPhaseCount; ++p) {
+        std::printf("  %s: %s\n", phase_names[p],
+                    result.phase_time[p].to_string().c_str());
+    }
+    return 0;
+}

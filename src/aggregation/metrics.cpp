@@ -1,0 +1,16 @@
+#include "aggregation/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::aggregation {
+
+std::string_view metric_name(Metric metric) {
+    switch (metric) {
+        case Metric::Time: return "time";
+        case Metric::Visits: return "visits";
+        case Metric::Bytes: return "bytes";
+    }
+    throw InvalidArgumentError("metric_name: unknown metric");
+}
+
+}  // namespace extradeep::aggregation

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string_view>
+
+namespace extradeep::aggregation {
+
+/// The performance metrics Extra-Deep models (paper Sec. 2.1, step 2): the
+/// runtime and the number of visits of every kernel, plus the number of
+/// transferred bytes for memory/communication operations.
+enum class Metric {
+    Time,    ///< seconds
+    Visits,  ///< execution count
+    Bytes,   ///< transferred bytes
+};
+
+inline constexpr int kMetricCount = 3;
+
+std::string_view metric_name(Metric metric);
+
+}  // namespace extradeep::aggregation

@@ -1,0 +1,78 @@
+#include "analysis/config_search.hpp"
+
+#include <algorithm>
+
+#include "analysis/speedup.hpp"
+#include "common/error.hpp"
+
+namespace extradeep::analysis {
+
+ConfigSearchResult find_cost_effective_config(
+    const RuntimeFn& runtime_model, const std::vector<double>& candidate_ranks,
+    const CostFunction& cost, const ConfigSearchLimits& limits,
+    parallel::ScalingMode scaling) {
+    if (candidate_ranks.empty()) {
+        throw InvalidArgumentError("find_cost_effective_config: no candidates");
+    }
+    if (!runtime_model) {
+        throw InvalidArgumentError("find_cost_effective_config: null runtime model");
+    }
+    std::vector<double> ranks = candidate_ranks;
+    std::sort(ranks.begin(), ranks.end());
+
+    ConfigSearchResult result;
+    std::vector<double> runtimes;
+    runtimes.reserve(ranks.size());
+    for (const double x : ranks) {
+        if (x <= 0.0) {
+            throw InvalidArgumentError(
+                "find_cost_effective_config: non-positive rank count");
+        }
+        runtimes.push_back(runtime_model(x));
+    }
+    const std::vector<double> eff = efficiencies(ranks, runtimes);
+
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        ConfigCandidate c;
+        c.ranks = ranks[i];
+        c.time_s = runtimes[i];
+        c.efficiency_pct = eff[i];
+        if (runtimes[i] <= 0.0) {
+            // The model extrapolated into nonsense at this scale; the
+            // candidate is reported but never feasible.
+            c.cost = std::numeric_limits<double>::infinity();
+            c.feasible_time = false;
+            c.feasible_cost = false;
+        } else {
+            c.cost = cost(runtimes[i], ranks[i]);
+            c.feasible_time = c.time_s <= limits.max_time_s;
+            c.feasible_cost = c.cost <= limits.max_cost;
+        }
+        result.candidates.push_back(c);
+    }
+
+    if (scaling == parallel::ScalingMode::Weak) {
+        // Weak scaling: the smallest feasible allocation is always the
+        // cheapest and the most efficient (Sec. 3.3).
+        for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+            if (result.candidates[i].feasible()) {
+                result.best = i;
+                break;
+            }
+        }
+    } else {
+        // Strong scaling: highest parallel efficiency among the feasible
+        // candidates.
+        double best_eff = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+            const auto& c = result.candidates[i];
+            if (c.feasible() && c.efficiency_pct > best_eff) {
+                best_eff = c.efficiency_pct;
+                result.best = i;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace extradeep::analysis

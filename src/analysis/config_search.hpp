@@ -1,0 +1,60 @@
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include <functional>
+
+#include "analysis/cost.hpp"
+#include "modeling/model.hpp"
+#include "parallel/strategy.hpp"
+
+namespace extradeep::analysis {
+
+/// User-set limits for the cost-effectiveness search (paper Sec. 3.3 /
+/// Fig. 4: a fixed budget and/or a target training time).
+struct ConfigSearchLimits {
+    double max_time_s = std::numeric_limits<double>::infinity();
+    double max_cost = std::numeric_limits<double>::infinity();
+};
+
+/// One evaluated candidate configuration.
+struct ConfigCandidate {
+    double ranks = 0.0;
+    double time_s = 0.0;           ///< predicted training time per epoch
+    double cost = 0.0;             ///< predicted cost per epoch (Eq. 14)
+    double efficiency_pct = 0.0;   ///< Eq. 13 efficiency vs. smallest candidate
+    bool feasible_time = false;
+    bool feasible_cost = false;
+
+    bool feasible() const { return feasible_time && feasible_cost; }
+};
+
+/// Result of the search: every candidate with its predictions and
+/// feasibility, plus the index of the most cost-effective feasible one
+/// (nullopt if no candidate meets both limits).
+struct ConfigSearchResult {
+    std::vector<ConfigCandidate> candidates;
+    std::optional<std::size_t> best;
+};
+
+/// Identifies the most cost-effective training configuration (Sec. 3.3)
+/// using the fitted runtime model:
+///  - every candidate rank count is priced with `cost` and checked against
+///    the limits ("technically possible" vs "economically feasible"),
+///  - under weak scaling the feasible candidate with the smallest resource
+///    allocation wins (always the cheapest and most efficient),
+///  - under strong scaling the feasible candidate with the highest parallel
+///    efficiency (Eq. 13, relative to the smallest candidate) wins.
+/// Throws InvalidArgumentError on an empty candidate list.
+/// Runtime model as a callable: ranks -> predicted training time per epoch.
+/// Accepts any fitted model (PerformanceModel, EpochModel) via a lambda.
+using RuntimeFn = std::function<double(double ranks)>;
+
+ConfigSearchResult find_cost_effective_config(
+    const RuntimeFn& runtime_model, const std::vector<double>& candidate_ranks,
+    const CostFunction& cost, const ConfigSearchLimits& limits,
+    parallel::ScalingMode scaling);
+
+}  // namespace extradeep::analysis

@@ -1,0 +1,39 @@
+#include "analysis/cost.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::analysis {
+
+double training_cost_core_hours(double runtime_s, double ranks,
+                                double cores_per_rank) {
+    if (runtime_s < 0.0 || ranks <= 0.0 || cores_per_rank <= 0.0) {
+        throw InvalidArgumentError("training_cost_core_hours: bad input");
+    }
+    return runtime_s * ranks * cores_per_rank / 3600.0;
+}
+
+CostFunction core_hours_cost(double cores_per_rank) {
+    if (cores_per_rank <= 0.0) {
+        throw InvalidArgumentError("core_hours_cost: rho must be positive");
+    }
+    return [cores_per_rank](double runtime_s, double ranks) {
+        return training_cost_core_hours(runtime_s, ranks, cores_per_rank);
+    };
+}
+
+modeling::PerformanceModel model_cost(const std::vector<double>& ranks,
+                                      const std::vector<double>& runtimes,
+                                      const CostFunction& cost,
+                                      const modeling::ModelGenerator& generator) {
+    if (ranks.size() != runtimes.size()) {
+        throw InvalidArgumentError("model_cost: size mismatch");
+    }
+    std::vector<double> costs;
+    costs.reserve(ranks.size());
+    for (std::size_t i = 0; i < ranks.size(); ++i) {
+        costs.push_back(cost(runtimes[i], ranks[i]));
+    }
+    return generator.fit(ranks, costs);
+}
+
+}  // namespace extradeep::analysis

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "modeling/fitter.hpp"
+
+namespace extradeep::analysis {
+
+/// Eq. 14: the training cost of a configuration in CPU core hours,
+/// C = T(x) * o / 3600 with o = x1 * rho (total CPU cores of all ranks).
+/// On the paper's systems GPUs are not billed separately, so core hours are
+/// the universal cost unit.
+double training_cost_core_hours(double runtime_s, double ranks,
+                                double cores_per_rank);
+
+/// Custom cost formula: maps (runtime seconds, ranks) to a cost value, e.g.
+/// a monetary cloud price. The default is Eq. 14 with the given rho.
+using CostFunction = std::function<double(double runtime_s, double ranks)>;
+
+/// The Eq. 14 cost function for a fixed cores-per-rank value.
+CostFunction core_hours_cost(double cores_per_rank);
+
+/// Fits a PMNF cost model C(x1) from per-point runtimes (the paper's
+/// C_epoch(x1) = 0.082 * x1^1.62 case-study model is of this shape). The
+/// cost at each measurement point is computed with `cost` and then modeled.
+modeling::PerformanceModel model_cost(
+    const std::vector<double>& ranks, const std::vector<double>& runtimes,
+    const CostFunction& cost,
+    const modeling::ModelGenerator& generator = modeling::ModelGenerator());
+
+}  // namespace extradeep::analysis

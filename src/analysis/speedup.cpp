@@ -1,0 +1,80 @@
+#include "analysis/speedup.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::analysis {
+
+std::vector<double> speedups(std::span<const double> runtimes) {
+    if (runtimes.empty()) {
+        throw InvalidArgumentError("speedups: empty input");
+    }
+    const double t1 = runtimes.front();
+    if (t1 == 0.0) {
+        throw InvalidArgumentError("speedups: zero baseline runtime");
+    }
+    std::vector<double> out;
+    out.reserve(runtimes.size());
+    for (const double tk : runtimes) {
+        out.push_back((t1 - tk) / (t1 / 100.0));
+    }
+    out.front() = 0.0;
+    return out;
+}
+
+std::vector<double> efficiencies(std::span<const double> ranks,
+                                 std::span<const double> runtimes) {
+    if (ranks.size() != runtimes.size()) {
+        throw InvalidArgumentError("efficiencies: size mismatch");
+    }
+    const std::vector<double> delta_a = speedups(runtimes);
+    const double x1 = ranks.front();
+    if (x1 <= 0.0) {
+        throw InvalidArgumentError("efficiencies: non-positive baseline ranks");
+    }
+    std::vector<double> out(ranks.size(), 100.0);
+    for (std::size_t k = 1; k < ranks.size(); ++k) {
+        const double delta_t = (ranks[k] - x1) / (x1 / 100.0);
+        if (delta_t == 0.0) {
+            out[k] = 100.0;
+        } else {
+            out[k] = 100.0 * delta_a[k] / delta_t;
+        }
+    }
+    return out;
+}
+
+std::vector<double> classic_efficiencies(std::span<const double> ranks,
+                                         std::span<const double> runtimes) {
+    if (ranks.size() != runtimes.size() || ranks.empty()) {
+        throw InvalidArgumentError("classic_efficiencies: bad input");
+    }
+    const double t1 = runtimes.front();
+    const double x1 = ranks.front();
+    if (t1 <= 0.0 || x1 <= 0.0) {
+        throw InvalidArgumentError("classic_efficiencies: non-positive baseline");
+    }
+    std::vector<double> out;
+    out.reserve(ranks.size());
+    for (std::size_t k = 0; k < ranks.size(); ++k) {
+        if (runtimes[k] <= 0.0 || ranks[k] <= 0.0) {
+            throw InvalidArgumentError(
+                "classic_efficiencies: non-positive measurement");
+        }
+        out.push_back(100.0 * (t1 * x1) / (runtimes[k] * ranks[k]));
+    }
+    return out;
+}
+
+modeling::PerformanceModel model_speedup(
+    const std::vector<double>& ranks, const std::vector<double>& runtimes,
+    const modeling::ModelGenerator& generator) {
+    return generator.fit(ranks, speedups(runtimes));
+}
+
+modeling::PerformanceModel model_efficiency(
+    const std::vector<double>& ranks, const std::vector<double>& runtimes,
+    const modeling::ModelGenerator& generator) {
+    return generator.fit(ranks, efficiencies(ranks, runtimes));
+}
+
+}  // namespace extradeep::analysis

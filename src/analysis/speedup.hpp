@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "modeling/fitter.hpp"
+
+namespace extradeep::analysis {
+
+/// Eq. 11: the speedup of each measurement point relative to the first,
+/// in percent: Δ_k = (T_1 - T_k) / (T_1 / 100); Δ_1 == 0. Positive values
+/// mean the configuration is faster than the baseline. Throws
+/// InvalidArgumentError on empty input or zero baseline.
+std::vector<double> speedups(std::span<const double> runtimes);
+
+/// Eq. 13: per-point parallel efficiency in percent. The true speedup Δ_a
+/// comes from Eq. 11; the theoretical speedup Δ_t = (x_k - x_1)/(x_1/100)
+/// assumes zero parallelisation overhead. ε_1 is 100 % by definition.
+/// Note: this follows the paper's definition literally; it is a relative
+/// ranking metric, not the textbook T_1·x_1/(T_k·x_k) efficiency (see
+/// classic_efficiencies for that).
+std::vector<double> efficiencies(std::span<const double> ranks,
+                                 std::span<const double> runtimes);
+
+/// Textbook parallel efficiency in percent: strong scaling
+/// 100 · T_1·x_1 / (T_k·x_k); provided as a cross-check next to the paper's
+/// Eq. 13 metric.
+std::vector<double> classic_efficiencies(std::span<const double> ranks,
+                                         std::span<const double> runtimes);
+
+/// Eq. 12: fits a PMNF model to the per-point speedups, giving the speedup
+/// of a kernel/application as a function of the configuration parameters.
+modeling::PerformanceModel model_speedup(
+    const std::vector<double>& ranks, const std::vector<double>& runtimes,
+    const modeling::ModelGenerator& generator = modeling::ModelGenerator());
+
+/// Fits a PMNF model to the per-point parallel efficiencies (Sec. 3.2).
+modeling::PerformanceModel model_efficiency(
+    const std::vector<double>& ranks, const std::vector<double>& runtimes,
+    const modeling::ModelGenerator& generator = modeling::ModelGenerator());
+
+}  // namespace extradeep::analysis

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace extradeep {
+
+/// Base class for all errors raised by the Extra-Deep library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when input data is malformed or violates a precondition
+/// (e.g. too few measurement points for modeling).
+class InvalidArgumentError : public Error {
+public:
+    explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on profile/trace file parse failures.
+class ParseError : public Error {
+public:
+    explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a numerical routine fails to converge or encounters a
+/// singular system.
+class NumericalError : public Error {
+public:
+    explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace extradeep

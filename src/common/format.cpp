@@ -1,0 +1,81 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace extradeep::fmt {
+
+std::string fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string percent(double value, int decimals) {
+    return fixed(value, decimals) + "%";
+}
+
+std::string seconds(double secs) {
+    const double a = std::abs(secs);
+    char buf[64];
+    if (a < 1e-3) {
+        std::snprintf(buf, sizeof(buf), "%.3g us", secs * 1e6);
+    } else if (a < 1.0) {
+        std::snprintf(buf, sizeof(buf), "%.3g ms", secs * 1e3);
+    } else if (a < 120.0) {
+        std::snprintf(buf, sizeof(buf), "%.3g s", secs);
+    } else if (a < 7200.0) {
+        std::snprintf(buf, sizeof(buf), "%.3g min", secs / 60.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3g h", secs / 3600.0);
+    }
+    return buf;
+}
+
+std::string bytes(double n) {
+    char buf[64];
+    const double a = std::abs(n);
+    if (a < 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f B", n);
+    } else if (a < 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB", n / 1024.0);
+    } else if (a < 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB", n / (1024.0 * 1024.0));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", n / (1024.0 * 1024.0 * 1024.0));
+    }
+    return buf;
+}
+
+std::string count(std::int64_t n) {
+    const bool neg = n < 0;
+    std::string digits = std::to_string(neg ? -n : n);
+    std::string out;
+    int seen = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (seen && seen % 3 == 0) {
+            out.push_back(',');
+        }
+        out.push_back(*it);
+        ++seen;
+    }
+    if (neg) out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string coeff(double value) {
+    const double a = std::abs(value);
+    char buf[64];
+    if (value == 0.0) {
+        return "0";
+    }
+    if (a >= 1e-3 && a < 1e5) {
+        std::snprintf(buf, sizeof(buf), "%.4g", value);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3e", value);
+    }
+    return buf;
+}
+
+}  // namespace extradeep::fmt

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace extradeep::fmt {
+
+/// Fixed-precision decimal rendering, e.g. fixed(3.14159, 2) == "3.14".
+std::string fixed(double value, int decimals);
+
+/// Percent rendering with one decimal, e.g. percent(12.34) == "12.3%".
+std::string percent(double value, int decimals = 1);
+
+/// Seconds with adaptive unit (us / ms / s / min / h), three significant
+/// digits, e.g. seconds(0.00123) == "1.23 ms".
+std::string seconds(double secs);
+
+/// Byte count with adaptive binary unit (B / KiB / MiB / GiB).
+std::string bytes(double n);
+
+/// Large counts with thousands separators, e.g. count(1234567) == "1,234,567".
+std::string count(std::int64_t n);
+
+/// Scientific-ish compact rendering used for model coefficients: fixed for
+/// magnitudes in [1e-3, 1e5), scientific otherwise.
+std::string coeff(double value);
+
+}  // namespace extradeep::fmt

@@ -1,0 +1,148 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace extradeep {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    return splitmix64(s);
+}
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    origin_seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& s : state_) {
+        s = splitmix64(sm);
+    }
+}
+
+std::uint64_t Rng::next_u64() {
+    // xoshiro256++
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform01() {
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+        throw InvalidArgumentError("uniform_int: lo > hi");
+    }
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    }
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = (~static_cast<std::uint64_t>(0)) -
+                                (~static_cast<std::uint64_t>(0)) % range;
+    std::uint64_t v;
+    do {
+        v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 must be > 0.
+    double u1;
+    do {
+        u1 = uniform01();
+    } while (u1 <= 0.0);
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    cached_normal_ = r * std::sin(2.0 * M_PI * u2);
+    has_cached_normal_ = true;
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+    return mean + stddev * normal();
+}
+
+double Rng::lognormal_factor(double sigma) {
+    if (sigma < 0.0) {
+        throw InvalidArgumentError("lognormal_factor: negative sigma");
+    }
+    if (sigma == 0.0) {
+        return 1.0;
+    }
+    return std::exp(normal(-0.5 * sigma * sigma, sigma));
+}
+
+bool Rng::bernoulli(double p) {
+    return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+    if (mean <= 0.0) {
+        throw InvalidArgumentError("exponential: mean must be positive");
+    }
+    double u;
+    do {
+        u = uniform01();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+std::int64_t Rng::poisson(double mean) {
+    if (mean < 0.0) {
+        throw InvalidArgumentError("poisson: negative mean");
+    }
+    if (mean == 0.0) {
+        return 0;
+    }
+    if (mean > 64.0) {
+        const double v = normal(mean, std::sqrt(mean));
+        return v <= 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    std::int64_t k = 0;
+    double p = 1.0;
+    do {
+        ++k;
+        p *= uniform01();
+    } while (p > limit);
+    return k - 1;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+    return Rng(mix64(origin_seed_, stream));
+}
+
+}  // namespace extradeep

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+
+namespace extradeep {
+
+/// Deterministic, reproducible pseudo-random generator (xoshiro256++ seeded
+/// through SplitMix64). The standard library engines/distributions are
+/// avoided on purpose: their output is implementation defined, and the
+/// simulator's noise must be bit-reproducible so that tests and benches give
+/// identical results everywhere.
+class Rng {
+public:
+    /// Seeds the generator. Any 64-bit value is acceptable, including 0.
+    explicit Rng(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform01();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Standard normal variate (Box-Muller, both values used).
+    double normal();
+
+    /// Normal variate with given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Mean-one multiplicative log-normal noise factor:
+    /// exp(N(-sigma^2/2, sigma^2)), so E[factor] == 1 for any sigma >= 0.
+    /// This is the simulator's run-to-run noise primitive.
+    double lognormal_factor(double sigma);
+
+    /// Bernoulli trial with probability p of returning true.
+    bool bernoulli(double p);
+
+    /// Exponential variate with the given mean (> 0).
+    double exponential(double mean);
+
+    /// Poisson variate. Knuth's method for small means, normal approximation
+    /// (rounded, clamped at zero) for mean > 64.
+    std::int64_t poisson(double mean);
+
+    /// Derives an independent deterministic child stream. Two forks with
+    /// different `stream` values (or from generators with different seeds)
+    /// produce statistically independent sequences; the parent state is not
+    /// advanced. Used to give every (configuration, rank, repetition) its
+    /// own noise stream.
+    Rng fork(std::uint64_t stream) const;
+
+    // UniformRandomBitGenerator interface, so the engine is usable with
+    // std::shuffle and friends.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~static_cast<result_type>(0); }
+    result_type operator()() { return next_u64(); }
+
+private:
+    Rng() = default;
+    std::uint64_t state_[4] = {};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+    std::uint64_t origin_seed_ = 0;
+};
+
+/// SplitMix64 step; exposed for hashing/seed-mixing needs elsewhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of two values (used to build hierarchical seeds such
+/// as seed(config, rank, repetition)).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace extradeep

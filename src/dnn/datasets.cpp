@@ -1,0 +1,112 @@
+#include "dnn/datasets.hpp"
+
+#include "common/error.hpp"
+#include "dnn/zoo.hpp"
+
+namespace extradeep::dnn {
+
+DatasetSpec DatasetSpec::cifar10() {
+    DatasetSpec d;
+    d.name = "CIFAR-10";
+    d.train_samples = 50000;
+    d.val_samples = 10000;
+    d.sample_shape = TensorShape{32, 32, 3};
+    d.bytes_per_sample = 32 * 32 * 3 + 1;
+    d.num_classes = 10;
+    return d;
+}
+
+DatasetSpec DatasetSpec::cifar100() {
+    DatasetSpec d = cifar10();
+    d.name = "CIFAR-100";
+    d.num_classes = 100;
+    d.bytes_per_sample = 32 * 32 * 3 + 2;
+    return d;
+}
+
+DatasetSpec DatasetSpec::imagenet() {
+    DatasetSpec d;
+    d.name = "ImageNet";
+    d.train_samples = 1281167;
+    d.val_samples = 50000;
+    d.sample_shape = TensorShape{224, 224, 3};
+    // Average JPEG size in ILSVRC-2012 is ~110 KB.
+    d.bytes_per_sample = 110.0 * 1024.0;
+    d.num_classes = 1000;
+    return d;
+}
+
+DatasetSpec DatasetSpec::imdb() {
+    DatasetSpec d;
+    d.name = "IMDB";
+    // The paper cites 50 000 samples total; the standard split is 25k/25k.
+    d.train_samples = 25000;
+    d.val_samples = 25000;
+    d.sample_shape = TensorShape{128};  // truncated/padded token sequence
+    d.bytes_per_sample = 128 * 4;
+    d.num_classes = 2;
+    return d;
+}
+
+DatasetSpec DatasetSpec::speech_commands() {
+    DatasetSpec d;
+    d.name = "Speech Commands";
+    d.train_samples = 84843;
+    d.val_samples = 9981;
+    // 1 s of 16 kHz audio converted to a 64x64 log-mel spectrogram.
+    d.sample_shape = TensorShape{64, 64, 1};
+    d.bytes_per_sample = 16000 * 2;  // 16-bit PCM on disk
+    d.num_classes = 35;
+    return d;
+}
+
+std::vector<DatasetSpec> DatasetSpec::all() {
+    return {cifar10(), cifar100(), imagenet(), imdb(), speech_commands()};
+}
+
+DatasetSpec dataset_spec(const std::string& dataset_name) {
+    for (auto& d : DatasetSpec::all()) {
+        if (d.name == dataset_name) {
+            return d;
+        }
+    }
+    throw InvalidArgumentError("dataset_spec: unknown dataset '" +
+                               dataset_name + "'");
+}
+
+BenchmarkApp make_benchmark(const std::string& dataset_name) {
+    if (dataset_name == "CIFAR-10") {
+        DatasetSpec d = DatasetSpec::cifar10();
+        NetworkModel n = resnet50(d.sample_shape, d.num_classes);
+        return BenchmarkApp{std::move(d), std::move(n)};
+    }
+    if (dataset_name == "CIFAR-100") {
+        DatasetSpec d = DatasetSpec::cifar100();
+        NetworkModel n = resnet50(d.sample_shape, d.num_classes);
+        return BenchmarkApp{std::move(d), std::move(n)};
+    }
+    if (dataset_name == "ImageNet") {
+        DatasetSpec d = DatasetSpec::imagenet();
+        NetworkModel n = efficientnet_b0(d.sample_shape, d.num_classes);
+        return BenchmarkApp{std::move(d), std::move(n)};
+    }
+    if (dataset_name == "IMDB") {
+        DatasetSpec d = DatasetSpec::imdb();
+        NetworkModel n = nnlm(static_cast<int>(d.sample_shape.dims[0]), 20000,
+                              d.num_classes);
+        return BenchmarkApp{std::move(d), std::move(n)};
+    }
+    if (dataset_name == "Speech Commands") {
+        DatasetSpec d = DatasetSpec::speech_commands();
+        NetworkModel n = cnn10(d.sample_shape, d.num_classes);
+        return BenchmarkApp{std::move(d), std::move(n)};
+    }
+    throw InvalidArgumentError("make_benchmark: unknown dataset '" +
+                               dataset_name + "'");
+}
+
+std::vector<std::string> benchmark_names() {
+    return {"CIFAR-10", "CIFAR-100", "ImageNet", "IMDB", "Speech Commands"};
+}
+
+}  // namespace extradeep::dnn

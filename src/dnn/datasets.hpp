@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "dnn/shape.hpp"
+
+namespace extradeep::dnn {
+
+/// Description of one benchmark dataset. No sample data is stored: the
+/// Extra-Deep pipeline only consumes sample counts (D_t, D_v in Eqs. 2-3)
+/// and per-sample sizes (I/O and preprocessing cost).
+struct DatasetSpec {
+    std::string name;
+    std::int64_t train_samples = 0;  ///< D_t
+    std::int64_t val_samples = 0;    ///< D_v
+    TensorShape sample_shape;        ///< per-sample network input shape
+    double bytes_per_sample = 0.0;   ///< on-disk bytes (pre-decoding)
+    int num_classes = 0;
+
+    /// The five standard datasets of the paper's evaluation (Sec. 4.1).
+    static DatasetSpec cifar10();
+    static DatasetSpec cifar100();
+    static DatasetSpec imagenet();
+    static DatasetSpec imdb();
+    static DatasetSpec speech_commands();
+
+    /// All five, in the paper's order.
+    static std::vector<DatasetSpec> all();
+};
+
+/// One of the paper's five synthetic application benchmarks: a dataset plus
+/// the DNN architecture trained on it (Sec. 4.1: CNN-10 for Speech Commands,
+/// NNLM for IMDB, ResNet-50 for CIFAR-10/100, EfficientNet-B0 for ImageNet).
+struct BenchmarkApp {
+    DatasetSpec dataset;
+    NetworkModel network;
+};
+
+/// Looks a dataset preset up by name without constructing the network
+/// (cheap; used wherever only D_t/D_v/B matter, e.g. step-count math).
+/// Throws InvalidArgumentError for unknown names.
+DatasetSpec dataset_spec(const std::string& dataset_name);
+
+/// Builds the paper's benchmark application for the given dataset name
+/// ("CIFAR-10", "CIFAR-100", "ImageNet", "IMDB", "Speech Commands").
+/// Throws InvalidArgumentError for unknown names.
+BenchmarkApp make_benchmark(const std::string& dataset_name);
+
+/// All five benchmarks in the paper's order.
+std::vector<std::string> benchmark_names();
+
+}  // namespace extradeep::dnn

@@ -1,0 +1,43 @@
+#include "dnn/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::dnn {
+
+std::string_view layer_kind_name(LayerKind kind) {
+    switch (kind) {
+        case LayerKind::Conv2d: return "Conv2d";
+        case LayerKind::DepthwiseConv2d: return "DepthwiseConv2d";
+        case LayerKind::Dense: return "Dense";
+        case LayerKind::BatchNorm: return "BatchNorm";
+        case LayerKind::Activation: return "Activation";
+        case LayerKind::MaxPool: return "MaxPool";
+        case LayerKind::AvgPool: return "AvgPool";
+        case LayerKind::GlobalAvgPool: return "GlobalAvgPool";
+        case LayerKind::Add: return "Add";
+        case LayerKind::Scale: return "Scale";
+        case LayerKind::Embedding: return "Embedding";
+        case LayerKind::Softmax: return "Softmax";
+        case LayerKind::Flatten: return "Flatten";
+        case LayerKind::Dropout: return "Dropout";
+    }
+    throw InvalidArgumentError("layer_kind_name: unknown kind");
+}
+
+bool Layer::uses_cudnn() const {
+    switch (kind) {
+        case LayerKind::Conv2d:
+        case LayerKind::DepthwiseConv2d:
+        case LayerKind::BatchNorm:
+        case LayerKind::MaxPool:
+        case LayerKind::AvgPool:
+        case LayerKind::Softmax:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool Layer::uses_cublas() const { return kind == LayerKind::Dense; }
+
+}  // namespace extradeep::dnn

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace extradeep::dnn {
+
+/// Per-sample tensor shape (no batch dimension). Image tensors are HWC,
+/// sequence tensors are (length, features), flat tensors are (features).
+struct TensorShape {
+    std::vector<std::int64_t> dims;
+
+    TensorShape() = default;
+    TensorShape(std::initializer_list<std::int64_t> d) : dims(d) {}
+
+    std::int64_t elements() const {
+        std::int64_t n = 1;
+        for (auto d : dims) n *= d;
+        return dims.empty() ? 0 : n;
+    }
+
+    /// Bytes of one fp32 sample of this shape.
+    double bytes() const { return 4.0 * static_cast<double>(elements()); }
+
+    std::size_t rank() const { return dims.size(); }
+
+    bool operator==(const TensorShape&) const = default;
+
+    std::string to_string() const {
+        std::string s = "(";
+        for (std::size_t i = 0; i < dims.size(); ++i) {
+            if (i) s += "x";
+            s += std::to_string(dims[i]);
+        }
+        return s + ")";
+    }
+};
+
+}  // namespace extradeep::dnn

@@ -1,0 +1,183 @@
+#include "dnn/zoo.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace extradeep::dnn {
+
+namespace {
+
+/// One ResNet bottleneck block: 1x1 reduce, 3x3 spatial, 1x1 expand, with a
+/// projection shortcut when the shape changes.
+void bottleneck(NetworkBuilder& b, int mid, int out, int stride,
+                const std::string& prefix) {
+    const TensorShape block_input = b.mark();
+    const bool project = stride != 1 || block_input.dims[2] != out;
+
+    b.conv2d(mid, 1, 1, prefix + "_conv1");
+    b.batch_norm(prefix + "_bn1");
+    b.activation("relu", prefix + "_relu1");
+    b.conv2d(mid, 3, stride, prefix + "_conv2");
+    b.batch_norm(prefix + "_bn2");
+    b.activation("relu", prefix + "_relu2");
+    b.conv2d(out, 1, 1, prefix + "_conv3");
+    b.batch_norm(prefix + "_bn3");
+
+    if (project) {
+        const TensorShape main_out = b.mark();
+        b.branch(block_input);
+        b.conv2d(out, 1, stride, prefix + "_downsample");
+        b.batch_norm(prefix + "_downsample_bn");
+        if (b.current_shape() != main_out) {
+            throw InvalidArgumentError("bottleneck: shortcut shape mismatch");
+        }
+    }
+    b.add(prefix + "_add");
+    b.activation("relu", prefix + "_relu3");
+}
+
+/// One EfficientNet MBConv block with squeeze-excitation.
+void mbconv(NetworkBuilder& b, int expand, int kernel, int out, int stride,
+            const std::string& prefix) {
+    const TensorShape block_input = b.mark();
+    const int in_ch = static_cast<int>(block_input.dims[2]);
+    const int expanded = in_ch * expand;
+    const bool residual = stride == 1 && in_ch == out;
+
+    if (expand != 1) {
+        b.conv2d(expanded, 1, 1, prefix + "_expand");
+        b.batch_norm(prefix + "_expand_bn");
+        b.activation("swish", prefix + "_expand_swish");
+    }
+    b.depthwise_conv2d(kernel, stride, prefix + "_dw");
+    b.batch_norm(prefix + "_dw_bn");
+    b.activation("swish", prefix + "_dw_swish");
+
+    // Squeeze-excitation: squeeze to a vector, two dense layers, sigmoid
+    // gate, channelwise rescale of the depthwise output.
+    const TensorShape dw_out = b.mark();
+    const int se_dim = std::max(1, in_ch / 4);
+    b.global_avg_pool(prefix + "_se_squeeze");
+    b.dense(se_dim, prefix + "_se_reduce");
+    b.activation("swish", prefix + "_se_swish");
+    b.dense(expanded, prefix + "_se_expand");
+    b.activation("sigmoid", prefix + "_se_sigmoid");
+    b.branch(dw_out);
+    b.scale(prefix + "_se_scale");
+
+    b.conv2d(out, 1, 1, prefix + "_project");
+    b.batch_norm(prefix + "_project_bn");
+    if (residual) {
+        b.add(prefix + "_add");
+    }
+}
+
+}  // namespace
+
+NetworkModel resnet50(TensorShape input, int num_classes) {
+    if (input.rank() != 3) {
+        throw InvalidArgumentError("resnet50: input must be HWC");
+    }
+    NetworkBuilder b("ResNet-50", std::move(input));
+    b.conv2d(64, 7, 2, "stem_conv");
+    b.batch_norm("stem_bn");
+    b.activation("relu", "stem_relu");
+    b.max_pool(3, 2, "stem_pool");
+
+    struct Stage {
+        int mid, out, blocks, stride;
+    };
+    const Stage stages[] = {
+        {64, 256, 3, 1}, {128, 512, 4, 2}, {256, 1024, 6, 2}, {512, 2048, 3, 2}};
+    int stage_idx = 0;
+    for (const auto& st : stages) {
+        ++stage_idx;
+        for (int blk = 0; blk < st.blocks; ++blk) {
+            const int stride = blk == 0 ? st.stride : 1;
+            bottleneck(b, st.mid, st.out, stride,
+                       "stage" + std::to_string(stage_idx) + "_block" +
+                           std::to_string(blk + 1));
+        }
+    }
+    b.global_avg_pool("avgpool");
+    b.dense(num_classes, "fc");
+    b.softmax("softmax");
+    return std::move(b).build();
+}
+
+NetworkModel efficientnet_b0(TensorShape input, int num_classes) {
+    if (input.rank() != 3) {
+        throw InvalidArgumentError("efficientnet_b0: input must be HWC");
+    }
+    NetworkBuilder b("EfficientNet-B0", std::move(input));
+    b.conv2d(32, 3, 2, "stem_conv");
+    b.batch_norm("stem_bn");
+    b.activation("swish", "stem_swish");
+
+    struct BlockCfg {
+        int expand, kernel, out, stride, repeats;
+    };
+    const BlockCfg cfg[] = {{1, 3, 16, 1, 1},  {6, 3, 24, 2, 2},
+                            {6, 5, 40, 2, 2},  {6, 3, 80, 2, 3},
+                            {6, 5, 112, 1, 3}, {6, 5, 192, 2, 4},
+                            {6, 3, 320, 1, 1}};
+    int block_idx = 0;
+    for (const auto& c : cfg) {
+        for (int r = 0; r < c.repeats; ++r) {
+            ++block_idx;
+            const int stride = r == 0 ? c.stride : 1;
+            mbconv(b, c.expand, c.kernel, c.out, stride,
+                   "mbconv" + std::to_string(block_idx));
+        }
+    }
+    b.conv2d(1280, 1, 1, "head_conv");
+    b.batch_norm("head_bn");
+    b.activation("swish", "head_swish");
+    b.global_avg_pool("head_pool");
+    b.dropout("head_dropout");
+    b.dense(num_classes, "fc");
+    b.softmax("softmax");
+    return std::move(b).build();
+}
+
+NetworkModel cnn10(TensorShape input, int num_classes) {
+    if (input.rank() != 3) {
+        throw InvalidArgumentError("cnn10: input must be HWC");
+    }
+    NetworkBuilder b("CNN-10", std::move(input));
+    const int channels[] = {32, 32, 64, 64, 128, 128, 256, 256};
+    for (int i = 0; i < 8; ++i) {
+        const int stride = (i % 2 == 1) ? 2 : 1;  // halve resolution per pair
+        b.conv2d(channels[i], 3, stride, "conv" + std::to_string(i + 1));
+        b.batch_norm("bn" + std::to_string(i + 1));
+        b.activation("relu", "relu" + std::to_string(i + 1));
+    }
+    b.flatten("flatten");
+    b.dense(512, "dense1");
+    b.activation("relu", "dense1_relu");
+    b.dropout("dropout1");
+    b.dense(128, "dense2");
+    b.activation("relu", "dense2_relu");
+    b.dense(num_classes, "fc");
+    b.softmax("softmax");
+    return std::move(b).build();
+}
+
+NetworkModel nnlm(int sequence_length, std::int64_t vocab_size,
+                  int num_classes) {
+    NetworkBuilder b("NNLM", TensorShape{sequence_length});
+    b.embedding(vocab_size, 128, "embedding");
+    b.global_avg_pool("avg_pool");
+    b.dense(64, "dense1");
+    b.activation("relu", "dense1_relu");
+    b.dropout("dropout");
+    b.dense(16, "dense2");
+    b.activation("relu", "dense2_relu");
+    b.dense(num_classes, "fc");
+    b.softmax("softmax");
+    return std::move(b).build();
+}
+
+}  // namespace extradeep::dnn

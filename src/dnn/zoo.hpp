@@ -1,0 +1,24 @@
+#pragma once
+
+#include "dnn/network.hpp"
+
+namespace extradeep::dnn {
+
+/// ResNet-50 v1 (bottleneck blocks [3,4,6,3], expansion 4). With ImageNet
+/// input and 1000 classes the parameter count matches the canonical
+/// 25.56 M within rounding. Used for CIFAR-10 / CIFAR-100 in the paper.
+NetworkModel resnet50(TensorShape input, int num_classes);
+
+/// EfficientNet-B0 (MBConv blocks with squeeze-excitation, swish
+/// activations); ~5.3 M parameters at 1000 classes. Used for ImageNet.
+NetworkModel efficientnet_b0(TensorShape input, int num_classes);
+
+/// The paper's "CNN with ten hidden layers" for Speech Commands:
+/// 8 convolutional + 2 dense hidden layers on spectrogram input.
+NetworkModel cnn10(TensorShape input, int num_classes);
+
+/// Neural-network language model for IMDB sentiment classification:
+/// token embedding, average pooling, dense classifier head.
+NetworkModel nnlm(int sequence_length, std::int64_t vocab_size, int num_classes);
+
+}  // namespace extradeep::dnn

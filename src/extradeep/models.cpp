@@ -1,0 +1,133 @@
+#include "extradeep/models.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace extradeep {
+
+EpochModel::EpochModel(modeling::PerformanceModel train_step,
+                       modeling::PerformanceModel val_step, StepMathFn steps)
+    : train_step_(std::move(train_step)),
+      val_step_(std::move(val_step)),
+      steps_(std::move(steps)) {
+    if (!steps_) {
+        throw InvalidArgumentError("EpochModel: null StepMathFn");
+    }
+}
+
+double EpochModel::evaluate(double x1) const {
+    if (!steps_) {
+        throw InvalidArgumentError("EpochModel: uninitialised model");
+    }
+    const parallel::StepMath sm = steps_(static_cast<int>(std::llround(x1)));
+    return static_cast<double>(sm.train_steps) * train_step_.evaluate(x1) +
+           static_cast<double>(sm.val_steps) * val_step_.evaluate(x1);
+}
+
+modeling::PredictionInterval EpochModel::predict_interval(
+    double x1, double confidence) const {
+    if (!steps_) {
+        throw InvalidArgumentError("EpochModel: uninitialised model");
+    }
+    const parallel::StepMath sm = steps_(static_cast<int>(std::llround(x1)));
+    const auto t = train_step_.predict_interval(x1, confidence);
+    const auto v = val_step_.predict_interval(x1, confidence);
+    const double nt = static_cast<double>(sm.train_steps);
+    const double nv = static_cast<double>(sm.val_steps);
+    modeling::PredictionInterval out;
+    out.prediction = nt * t.prediction + nv * v.prediction;
+    out.lower = nt * t.lower + nv * v.lower;
+    out.upper = nt * t.upper + nv * v.upper;
+    return out;
+}
+
+std::string EpochModel::to_string() const {
+    std::ostringstream os;
+    os << "n_t(x1) * [" << train_step_.to_string() << "] + n_v(x1) * ["
+       << val_step_.to_string() << "]";
+    return os.str();
+}
+
+const modeling::ModelQuality& EpochModel::quality() const {
+    return train_step_.quality();
+}
+
+std::vector<KernelModelEntry> model_kernels(
+    const aggregation::ExperimentData& data, const StepMathFn& steps,
+    const std::vector<aggregation::Metric>& metrics,
+    const modeling::ModelGenerator& generator, int min_configs) {
+    if (!steps) {
+        throw InvalidArgumentError("model_kernels: null StepMathFn");
+    }
+    std::vector<KernelModelEntry> out;
+    const auto kernel_names = data.modelable_kernels(min_configs);
+    for (const auto& name : kernel_names) {
+        for (const auto metric : metrics) {
+            std::vector<double> xs;
+            std::vector<double> train_values;
+            std::vector<double> val_values;
+            bool all_zero = true;
+            for (const auto& config : data.configs()) {
+                const aggregation::KernelStats* k = config.find_kernel(name);
+                if (k == nullptr) {
+                    continue;  // kernel absent at this point
+                }
+                xs.push_back(config.params.at("x1"));
+                train_values.push_back(k->train_metric(metric));
+                val_values.push_back(k->val_metric(metric));
+                if (train_values.back() != 0.0 || val_values.back() != 0.0) {
+                    all_zero = false;
+                }
+            }
+            if (all_zero || xs.size() < static_cast<std::size_t>(min_configs)) {
+                continue;
+            }
+            KernelModelEntry entry;
+            entry.name = name;
+            entry.category = data.kernel_category(name);
+            entry.metric = metric;
+            entry.model = EpochModel(generator.fit(xs, train_values),
+                                     generator.fit(xs, val_values), steps);
+            out.push_back(std::move(entry));
+        }
+    }
+    return out;
+}
+
+std::vector<PredictionEval> evaluate_model(const EpochModel& model,
+                                           const std::vector<double>& xs,
+                                           const std::vector<double>& measured) {
+    if (xs.size() != measured.size()) {
+        throw InvalidArgumentError("evaluate_model: size mismatch");
+    }
+    std::vector<PredictionEval> out;
+    out.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        PredictionEval e;
+        e.x = xs[i];
+        e.predicted = model.evaluate(xs[i]);
+        e.measured = measured[i];
+        e.percent_error = measured[i] == 0.0
+                              ? std::abs(e.predicted) > 0.0 ? 100.0 : 0.0
+                              : stats::percent_error(e.predicted, e.measured);
+        out.push_back(e);
+    }
+    return out;
+}
+
+double median_percent_error(const std::vector<PredictionEval>& evals) {
+    if (evals.empty()) {
+        throw InvalidArgumentError("median_percent_error: empty input");
+    }
+    std::vector<double> errors;
+    errors.reserve(evals.size());
+    for (const auto& e : evals) {
+        errors.push_back(e.percent_error);
+    }
+    return stats::median(errors);
+}
+
+}  // namespace extradeep

@@ -1,0 +1,59 @@
+#include "hw/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace extradeep::hw {
+
+GpuSpec GpuSpec::v100() {
+    GpuSpec g;
+    g.name = "V100";
+    g.peak_fp32_tflops = 15.7;
+    g.mem_bandwidth_gbs = 900.0;
+    g.kernel_launch_overhead_s = 4.5e-6;
+    g.pcie_bandwidth_gbs = 12.0;
+    g.memory_gib = 16.0;
+    return g;
+}
+
+GpuSpec GpuSpec::a100() {
+    GpuSpec g;
+    g.name = "A100";
+    g.peak_fp32_tflops = 19.5;
+    g.mem_bandwidth_gbs = 1555.0;
+    g.kernel_launch_overhead_s = 3.5e-6;
+    g.pcie_bandwidth_gbs = 24.0;
+    g.memory_gib = 40.0;
+    return g;
+}
+
+double kernel_time(const GpuSpec& gpu, double flops, double bytes,
+                   double efficiency) {
+    if (efficiency <= 0.0 || efficiency > 1.0) {
+        throw InvalidArgumentError("kernel_time: efficiency outside (0, 1]");
+    }
+    if (flops < 0.0 || bytes < 0.0) {
+        throw InvalidArgumentError("kernel_time: negative flops/bytes");
+    }
+    const double compute_s = flops / (gpu.peak_fp32_tflops * 1e12 * efficiency);
+    const double memory_s = bytes / (gpu.mem_bandwidth_gbs * 1e9);
+    return gpu.kernel_launch_overhead_s + std::max(compute_s, memory_s);
+}
+
+double memcpy_time(const GpuSpec& gpu, double bytes) {
+    if (bytes < 0.0) {
+        throw InvalidArgumentError("memcpy_time: negative bytes");
+    }
+    constexpr double kSetupLatency = 8e-6;
+    return kSetupLatency + bytes / (gpu.pcie_bandwidth_gbs * 1e9);
+}
+
+double memset_time(const GpuSpec& gpu, double bytes) {
+    if (bytes < 0.0) {
+        throw InvalidArgumentError("memset_time: negative bytes");
+    }
+    return gpu.kernel_launch_overhead_s + bytes / (gpu.mem_bandwidth_gbs * 1e9);
+}
+
+}  // namespace extradeep::hw

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+namespace extradeep::hw {
+
+/// Analytical GPU description used by the roofline kernel cost model.
+/// The simulator substitutes this for the paper's physical V100/A100 GPUs;
+/// only relative magnitudes and scaling shapes matter for Extra-Deep, not
+/// absolute device accuracy.
+struct GpuSpec {
+    std::string name;
+    double peak_fp32_tflops = 0.0;      ///< peak single-precision throughput
+    double mem_bandwidth_gbs = 0.0;     ///< HBM bandwidth [GB/s]
+    double kernel_launch_overhead_s = 4e-6;  ///< fixed per-kernel launch cost
+    double pcie_bandwidth_gbs = 12.0;   ///< host<->device copy bandwidth
+    double memory_gib = 16.0;           ///< device memory capacity
+
+    /// NVIDIA V100 (DEEP Extreme Scale Booster nodes, paper Table 1).
+    static GpuSpec v100();
+    /// NVIDIA A100 (JURECA DC module nodes, paper Table 1).
+    static GpuSpec a100();
+};
+
+/// Roofline execution time of a GPU kernel: launch overhead plus the larger
+/// of the compute time (at `efficiency` x peak FLOPs) and the memory time
+/// (at full HBM bandwidth). `efficiency` in (0, 1] captures how well a given
+/// layer type utilises the device (convolutions ~0.5, elementwise ~0.05, ...).
+double kernel_time(const GpuSpec& gpu, double flops, double bytes,
+                   double efficiency);
+
+/// Host<->device copy time over PCIe, with a fixed setup latency.
+double memcpy_time(const GpuSpec& gpu, double bytes);
+
+/// Device memset time at full memory bandwidth, with launch overhead.
+double memset_time(const GpuSpec& gpu, double bytes);
+
+}  // namespace extradeep::hw

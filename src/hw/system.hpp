@@ -1,0 +1,103 @@
+#pragma once
+
+#include <string>
+
+#include "hw/gpu.hpp"
+#include "hw/network.hpp"
+
+namespace extradeep::hw {
+
+/// Stochastic noise description of a system. Run-to-run variation on real
+/// clusters grows with scale (paper Sec. 4.3: avg 12.6 % on DEEP, 17.4 % on
+/// JURECA; case-study variation 0.6-13.9 % rising with rank count), which is
+/// what these parameters reproduce.
+struct NoiseSpec {
+    /// Log-normal sigma applied multiplicatively to every kernel duration at
+    /// a single rank (baseline jitter).
+    double base_sigma = 0.02;
+    /// Additional sigma proportional to sqrt(ranks), modeling growing
+    /// network/system interference at scale.
+    double sigma_per_sqrt_rank = 0.004;
+    /// Extra sigma applied to communication operations only (network
+    /// contention is noisier than on-device compute).
+    double comm_sigma_extra = 0.02;
+    /// Probability per training step of an OS-noise spike (daemon activity,
+    /// page faults, stragglers).
+    double os_spike_probability = 0.01;
+    /// Mean magnitude of a spike as a fraction of the step's total time.
+    double os_spike_fraction = 0.15;
+
+    /// Effective compute-kernel sigma at a given total rank count.
+    double compute_sigma(int ranks) const;
+    /// Effective communication sigma at a given total rank count.
+    double comm_sigma(int ranks) const;
+};
+
+/// Description of one evaluation system (paper Table 1) plus everything the
+/// simulator needs: GPU model, node topology, network links, NCCL support,
+/// per-rank CPU cores (the cost unit of Eq. 14), and the noise profile.
+struct SystemSpec {
+    std::string name;
+    int node_count = 0;
+    int gpus_per_node = 1;
+    int cores_per_node = 8;
+    /// CPU cores billed per MPI rank (rho in Eq. 14). On both paper systems
+    /// a rank is billed the cores of its node share.
+    int cores_per_rank = 8;
+    GpuSpec gpu;
+    LinkSpec inter_node;  ///< InfiniBand between nodes
+    LinkSpec intra_node;  ///< NVLink/PCIe between GPUs of one node
+    bool nccl_support = false;
+    NoiseSpec noise;
+    /// Inter-node collective times are inflated by
+    /// (1 + network_contention_factor * log2(nodes involved)): incast
+    /// congestion, stragglers, and switch contention grow with the job
+    /// footprint. This term is deliberately outside the pure alpha-beta
+    /// model and is one reason extrapolated communication models degrade
+    /// with distance, as in the paper's evaluation.
+    double network_contention_factor = 0.0;
+    /// Host-side throughput for input preprocessing [samples/s per rank].
+    double preprocess_rate_samples_per_s = 12000.0;
+    /// Sustained file-system read bandwidth per rank [GB/s].
+    double io_read_gbs = 1.2;
+
+    /// Total ranks usable on this system (one rank per GPU).
+    int max_ranks() const { return node_count * gpus_per_node; }
+
+    /// Nodes occupied by `ranks` ranks at one rank per GPU, rounded up.
+    int nodes_for_ranks(int ranks) const;
+
+    /// DEEP Extreme Scale Booster: 75 nodes, 1x Xeon Silver 4215 (8 cores),
+    /// 48 GB RAM, IB EDR 100 Gbit/s, 1x V100/node, no NCCL (Table 1).
+    static SystemSpec deep();
+    /// JURECA DC: 192 nodes, 2x EPYC 7742 (128 cores), 512 GB RAM, 2x IB HDR,
+    /// 4x A100/node, NCCL supported (Table 1).
+    static SystemSpec jureca();
+
+    /// One-line hardware description, as printed by the bench headers.
+    std::string describe() const;
+};
+
+/// Contention multiplier applied to inter-node collective traffic spanning
+/// `nodes` nodes (see SystemSpec::network_contention_factor).
+double contention_multiplier(const SystemSpec& sys, int nodes);
+
+/// Stepwise collective-algorithm regime factor: communication libraries
+/// switch algorithms above certain node counts (thresholds 16/32/64/128,
+/// +6 % each) - scale-dependent behaviour that small-scale profiles cannot
+/// observe, the paper's stated limit of extrapolation (Sec. 4.3).
+double algorithm_regime_factor(int nodes);
+
+/// Time of one gradient allreduce of `bytes` across `ranks` ranks on this
+/// system: hierarchical NCCL when supported and more than one GPU per node,
+/// flat MPI (ring/tree) otherwise. Includes network contention.
+double allreduce_time(const SystemSpec& sys, double bytes, int ranks);
+
+/// Allgather of `bytes` across `ranks` ranks (tensor-parallel activations).
+double system_allgather_time(const SystemSpec& sys, double bytes, int ranks);
+
+/// Point-to-point activation transfer between pipeline stages. Stages on the
+/// same node use the intra-node link.
+double p2p_time(const SystemSpec& sys, double bytes, bool same_node);
+
+}  // namespace extradeep::hw

@@ -1,0 +1,321 @@
+#include "modeling/fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace extradeep::modeling {
+
+namespace {
+
+struct HypothesisFit {
+    bool valid = false;
+    std::vector<double> coefficients;  ///< [constant, c_1, ..., c_k]
+    double fit_smape = std::numeric_limits<double>::infinity();
+    double cv_smape = std::numeric_limits<double>::infinity();
+    double rss = 0.0;
+    linalg::Matrix cov_unscaled;
+};
+
+/// Basis matrix of a hypothesis: column 0 is the constant, column t+1 the
+/// t-th term's basis value at each point.
+linalg::Matrix basis_matrix(const std::vector<Term>& terms,
+                            const std::vector<std::vector<double>>& points) {
+    linalg::Matrix b(points.size(), terms.size() + 1);
+    for (std::size_t r = 0; r < points.size(); ++r) {
+        b(r, 0) = 1.0;
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            b(r, t + 1) = terms[t].basis(points[r]);
+        }
+    }
+    return b;
+}
+
+/// Least squares on a row subset (mask[i] == false rows excluded).
+linalg::LeastSquaresResult fit_rows(const linalg::Matrix& basis,
+                                    const std::vector<double>& values,
+                                    const std::vector<bool>* exclude,
+                                    std::size_t excluded_row) {
+    const std::size_t n = basis.rows();
+    const std::size_t k = basis.cols();
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((exclude == nullptr || !(*exclude)[i]) && i != excluded_row) {
+            ++rows;
+        }
+    }
+    linalg::Matrix a(rows, k);
+    std::vector<double> b(rows);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((exclude != nullptr && (*exclude)[i]) || i == excluded_row) {
+            continue;
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            a(r, c) = basis(i, c);
+        }
+        b[r] = values[i];
+        ++r;
+    }
+    return linalg::least_squares(a, b);
+}
+
+HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
+                             const std::vector<std::vector<double>>& points,
+                             const std::vector<double>& values) {
+    HypothesisFit out;
+    const std::size_t n = points.size();
+    const std::size_t k = terms.size() + 1;
+    if (n < k + 1 && !(n == k && terms.empty())) {
+        // Not enough points to fit and still have a residual to judge by;
+        // require at least one spare point (the constant model always fits).
+        if (n < k) {
+            return out;
+        }
+    }
+    const linalg::Matrix basis = basis_matrix(terms, points);
+    for (std::size_t r = 0; r < basis.rows(); ++r) {
+        for (std::size_t c = 0; c < basis.cols(); ++c) {
+            if (!std::isfinite(basis(r, c))) {
+                return out;
+            }
+        }
+    }
+    const auto full = fit_rows(basis, values, nullptr, n);
+    if (full.rank_deficient) {
+        return out;
+    }
+    for (const double c : full.coefficients) {
+        if (!std::isfinite(c)) {
+            return out;
+        }
+    }
+
+    std::vector<double> predicted(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = 0.0;
+        for (std::size_t c = 0; c < k; ++c) {
+            v += basis(i, c) * full.coefficients[c];
+        }
+        predicted[i] = v;
+    }
+    out.fit_smape = stats::smape(predicted, values);
+    out.rss = full.residual_norm * full.residual_norm;
+    out.coefficients = full.coefficients;
+    out.cov_unscaled = full.covariance_unscaled;
+
+    // Leave-one-out cross-validation, the paper's selection criterion.
+    if (n >= k + 1) {
+        std::vector<double> cv_pred(n, 0.0);
+        bool cv_ok = true;
+        for (std::size_t leave = 0; leave < n; ++leave) {
+            const auto part = fit_rows(basis, values, nullptr, leave);
+            if (part.rank_deficient) {
+                cv_ok = false;
+                break;
+            }
+            double v = 0.0;
+            for (std::size_t c = 0; c < k; ++c) {
+                v += basis(leave, c) * part.coefficients[c];
+            }
+            if (!std::isfinite(v)) {
+                cv_ok = false;
+                break;
+            }
+            cv_pred[leave] = v;
+        }
+        if (cv_ok) {
+            out.cv_smape = stats::smape(cv_pred, values);
+        } else {
+            return out;
+        }
+    } else {
+        // No spare point for cross-validation (only possible for the
+        // richest hypotheses at the minimum point count): fall back to the
+        // fit error with a stiff penalty so simpler models win.
+        out.cv_smape = out.fit_smape * 4.0 + 1.0;
+    }
+    out.valid = true;
+    return out;
+}
+
+}  // namespace
+
+ModelGenerator::ModelGenerator(FitOptions options) : options_(std::move(options)) {}
+
+PerformanceModel ModelGenerator::fit(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& values,
+    std::vector<std::string> param_names) const {
+    if (points.size() != values.size()) {
+        throw InvalidArgumentError("ModelGenerator::fit: size mismatch");
+    }
+    if (points.size() < static_cast<std::size_t>(options_.min_points)) {
+        throw InvalidArgumentError(
+            "ModelGenerator::fit: at least " +
+            std::to_string(options_.min_points) +
+            " measurement points are required (got " +
+            std::to_string(points.size()) + ")");
+    }
+    const std::size_t dims = points.front().size();
+    if (dims == 0) {
+        throw InvalidArgumentError("ModelGenerator::fit: zero-dimensional points");
+    }
+    for (const auto& p : points) {
+        if (p.size() != dims) {
+            throw InvalidArgumentError(
+                "ModelGenerator::fit: inconsistent point dimensions");
+        }
+    }
+    if (param_names.size() != dims) {
+        param_names.resize(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+            if (param_names[d].empty()) {
+                param_names[d] = "x" + std::to_string(d + 1);
+            }
+        }
+    }
+    for (const double v : values) {
+        if (!std::isfinite(v)) {
+            throw InvalidArgumentError("ModelGenerator::fit: non-finite value");
+        }
+    }
+
+    // Collect hypotheses: single-parameter spaces per parameter, plus
+    // multi-parameter combinations of each parameter's best factors.
+    std::vector<std::vector<Term>> hypotheses;
+    if (dims == 1) {
+        hypotheses = options_.space.single_parameter_hypotheses(0);
+    } else {
+        hypotheses.push_back({});  // constant
+        std::vector<std::vector<Factor>> best_factors(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+            auto single = options_.space.single_parameter_hypotheses(
+                static_cast<int>(d));
+            // Extra-P's heuristic: rank this parameter's factors on the
+            // subset of points where all *other* parameters are held at
+            // their most frequent combination, so the other parameters'
+            // influence does not distort the ranking.
+            std::vector<std::vector<double>> rank_points;
+            std::vector<double> rank_values;
+            {
+                std::map<std::vector<double>, int> combos;
+                for (const auto& p : points) {
+                    std::vector<double> key = p;
+                    key[d] = 0.0;
+                    ++combos[key];
+                }
+                const auto best_combo = std::max_element(
+                    combos.begin(), combos.end(),
+                    [](const auto& a, const auto& b) {
+                        return a.second < b.second;
+                    });
+                for (std::size_t i = 0; i < points.size(); ++i) {
+                    std::vector<double> key = points[i];
+                    key[d] = 0.0;
+                    if (key == best_combo->first) {
+                        rank_points.push_back(points[i]);
+                        rank_values.push_back(values[i]);
+                    }
+                }
+                if (rank_points.size() < 3) {
+                    rank_points = points;  // fall back to the full data
+                    rank_values = values;
+                }
+            }
+            // Rank this parameter's 1-term hypotheses by CV error.
+            std::vector<std::pair<double, Factor>> ranked;
+            for (const auto& h : single) {
+                if (h.size() != 1) {
+                    continue;
+                }
+                const auto f = fit_hypothesis(h, rank_points, rank_values);
+                if (f.valid) {
+                    ranked.emplace_back(f.cv_smape, h.front().factors.front());
+                }
+                hypotheses.push_back(h);  // keep single-param candidates too
+            }
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                      });
+            const std::size_t top = std::min<std::size_t>(
+                ranked.size(),
+                static_cast<std::size_t>(options_.multi_param_top_factors));
+            for (std::size_t i = 0; i < top; ++i) {
+                best_factors[d].push_back(ranked[i].second);
+            }
+        }
+        const auto multi =
+            options_.space.multi_parameter_hypotheses(best_factors);
+        hypotheses.insert(hypotheses.end(), multi.begin(), multi.end());
+    }
+
+    // Fit all hypotheses and select by (penalised) cross-validated SMAPE.
+    double best_score = std::numeric_limits<double>::infinity();
+    const std::vector<Term>* best_terms = nullptr;
+    HypothesisFit best_fit;
+    int searched = 0;
+    for (const auto& h : hypotheses) {
+        const auto f = fit_hypothesis(h, points, values);
+        ++searched;
+        if (!f.valid) {
+            continue;
+        }
+        const double score =
+            f.cv_smape * (1.0 + options_.term_penalty * h.size());
+        if (score < best_score) {
+            best_score = score;
+            best_terms = &h;
+            best_fit = f;
+        }
+    }
+    if (best_terms == nullptr) {
+        throw NumericalError("ModelGenerator::fit: no hypothesis could be fitted");
+    }
+
+    std::vector<Term> terms = *best_terms;
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        terms[t].coefficient = best_fit.coefficients[t + 1];
+    }
+    PerformanceModel model(best_fit.coefficients[0], std::move(terms),
+                           std::move(param_names));
+
+    ModelQuality q;
+    q.fit_smape = best_fit.fit_smape;
+    q.cv_smape = best_fit.cv_smape;
+    q.rss = best_fit.rss;
+    q.hypotheses_searched = searched;
+    {
+        std::vector<double> predicted(points.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            predicted[i] = model.evaluate(points[i]);
+        }
+        q.r_squared = stats::r_squared(predicted, values);
+    }
+    model.set_quality(q);
+
+    const int dof = static_cast<int>(points.size()) -
+                    static_cast<int>(model.terms().size()) - 1;
+    if (dof >= 1) {
+        model.set_fit_info(best_fit.cov_unscaled, best_fit.rss / dof, dof);
+    }
+    return model;
+}
+
+PerformanceModel ModelGenerator::fit(const std::vector<double>& xs,
+                                     const std::vector<double>& ys,
+                                     const std::string& param_name) const {
+    std::vector<std::vector<double>> points;
+    points.reserve(xs.size());
+    for (const double x : xs) {
+        points.push_back({x});
+    }
+    return fit(points, ys, {param_name});
+}
+
+}  // namespace extradeep::modeling

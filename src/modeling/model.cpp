@@ -1,0 +1,224 @@
+#include "modeling/model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/student_t.hpp"
+
+namespace extradeep::modeling {
+
+namespace {
+
+std::string exp_to_string(double e) {
+    // Render common fractional exponents as fractions for readability.
+    const struct {
+        double value;
+        const char* repr;
+    } known[] = {{1.0 / 4.0, "(1/4)"}, {1.0 / 3.0, "(1/3)"}, {1.0 / 2.0, "(1/2)"},
+                 {2.0 / 3.0, "(2/3)"}, {3.0 / 4.0, "(3/4)"}, {4.0 / 3.0, "(4/3)"},
+                 {3.0 / 2.0, "(3/2)"}, {5.0 / 3.0, "(5/3)"}, {5.0 / 4.0, "(5/4)"},
+                 {7.0 / 4.0, "(7/4)"}, {7.0 / 3.0, "(7/3)"}, {5.0 / 2.0, "(5/2)"},
+                 {8.0 / 3.0, "(8/3)"}, {9.0 / 4.0, "(9/4)"}, {11.0 / 4.0, "(11/4)"}};
+    for (const auto& k : known) {
+        if (std::abs(e - k.value) < 1e-12) {
+            return k.repr;
+        }
+    }
+    if (e == static_cast<long long>(e)) {
+        return std::to_string(static_cast<long long>(e));
+    }
+    return fmt::coeff(e);
+}
+
+}  // namespace
+
+double Factor::evaluate(double value) const {
+    if (poly_exp == 0.0 && log_exp == 0) {
+        return 1.0;
+    }
+    if (value <= 0.0) {
+        throw InvalidArgumentError(
+            "Factor::evaluate: parameter value must be positive");
+    }
+    double v = 1.0;
+    if (poly_exp != 0.0) {
+        v *= std::pow(value, poly_exp);
+    }
+    if (log_exp != 0) {
+        v *= std::pow(std::log2(value), log_exp);
+    }
+    return v;
+}
+
+std::string Factor::to_string(const std::string& param_name) const {
+    std::ostringstream os;
+    bool first = true;
+    if (poly_exp != 0.0) {
+        os << param_name;
+        if (poly_exp != 1.0) {
+            os << "^" << exp_to_string(poly_exp);
+        }
+        first = false;
+    }
+    if (log_exp != 0) {
+        if (!first) os << " * ";
+        os << "log2(" << param_name << ")";
+        if (log_exp != 1) {
+            os << "^" << log_exp;
+        }
+        first = false;
+    }
+    if (first) {
+        os << "1";
+    }
+    return os.str();
+}
+
+double Term::basis(std::span<const double> point) const {
+    double v = 1.0;
+    for (const auto& f : factors) {
+        if (f.param < 0 || static_cast<std::size_t>(f.param) >= point.size()) {
+            throw InvalidArgumentError("Term::basis: parameter index out of range");
+        }
+        v *= f.evaluate(point[f.param]);
+    }
+    return v;
+}
+
+double Term::evaluate(std::span<const double> point) const {
+    return coefficient * basis(point);
+}
+
+PerformanceModel::PerformanceModel(double constant, std::vector<Term> terms,
+                                   std::vector<std::string> param_names)
+    : constant_(constant),
+      terms_(std::move(terms)),
+      param_names_(std::move(param_names)) {}
+
+double PerformanceModel::evaluate(std::span<const double> point) const {
+    double v = constant_;
+    for (const auto& t : terms_) {
+        v += t.evaluate(point);
+    }
+    return v;
+}
+
+double PerformanceModel::evaluate(double x) const {
+    return evaluate(std::span<const double>(&x, 1));
+}
+
+void PerformanceModel::set_fit_info(linalg::Matrix cov_unscaled,
+                                    double residual_variance,
+                                    int degrees_of_freedom) {
+    cov_unscaled_ = std::move(cov_unscaled);
+    residual_variance_ = residual_variance;
+    dof_ = degrees_of_freedom;
+    has_fit_info_ = cov_unscaled_.rows() == terms_.size() + 1 && dof_ >= 1;
+}
+
+PredictionInterval PerformanceModel::predict_interval(
+    std::span<const double> point, double confidence) const {
+    PredictionInterval out;
+    out.prediction = evaluate(point);
+    out.lower = out.prediction;
+    out.upper = out.prediction;
+    if (!has_fit_info_) {
+        return out;
+    }
+    // Basis vector b0 = (1, basis_1(x), ..., basis_k(x)).
+    const std::size_t k = terms_.size() + 1;
+    std::vector<double> b0(k, 1.0);
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        b0[i + 1] = terms_[i].basis(point);
+    }
+    double quad = 0.0;
+    for (std::size_t r = 0; r < k; ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+            quad += b0[r] * cov_unscaled_(r, c) * b0[c];
+        }
+    }
+    const double se = std::sqrt(residual_variance_ * (1.0 + std::max(0.0, quad)));
+    const double tcrit = stats::student_t_critical(confidence, dof_);
+    out.lower = out.prediction - tcrit * se;
+    out.upper = out.prediction + tcrit * se;
+    return out;
+}
+
+PredictionInterval PerformanceModel::predict_interval(double x,
+                                                      double confidence) const {
+    return predict_interval(std::span<const double>(&x, 1), confidence);
+}
+
+std::pair<double, int> PerformanceModel::dominant_growth(int param) const {
+    std::pair<double, int> best{0.0, 0};
+    for (const auto& t : terms_) {
+        if (t.coefficient <= 0.0) {
+            continue;  // negative terms do not drive asymptotic cost upward
+        }
+        double poly = 0.0;
+        int log = 0;
+        for (const auto& f : t.factors) {
+            if (f.param == param) {
+                poly += f.poly_exp;
+                log += f.log_exp;
+            }
+        }
+        if (poly > best.first ||
+            (poly == best.first && log > best.second)) {
+            best = {poly, log};
+        }
+    }
+    return best;
+}
+
+int PerformanceModel::compare_growth(const PerformanceModel& other,
+                                     int param) const {
+    const auto a = dominant_growth(param);
+    const auto b = other.dominant_growth(param);
+    if (a.first != b.first) {
+        return a.first < b.first ? -1 : 1;
+    }
+    if (a.second != b.second) {
+        return a.second < b.second ? -1 : 1;
+    }
+    return 0;
+}
+
+std::string PerformanceModel::growth_to_string(int param) const {
+    const auto [poly, log] = dominant_growth(param);
+    const std::string& name = param_names_.size() > static_cast<std::size_t>(param)
+                                  ? param_names_[param]
+                                  : "x";
+    if (poly == 0.0 && log == 0) {
+        return "O(1)";
+    }
+    Factor f;
+    f.param = param;
+    f.poly_exp = poly;
+    f.log_exp = log;
+    return "O(" + f.to_string(name) + ")";
+}
+
+std::string PerformanceModel::to_string() const {
+    std::ostringstream os;
+    os << fmt::coeff(constant_);
+    for (const auto& t : terms_) {
+        if (t.coefficient >= 0.0) {
+            os << " + " << fmt::coeff(t.coefficient);
+        } else {
+            os << " - " << fmt::coeff(-t.coefficient);
+        }
+        for (const auto& f : t.factors) {
+            const std::string& name =
+                param_names_.size() > static_cast<std::size_t>(f.param)
+                    ? param_names_[f.param]
+                    : "x";
+            os << " * " << f.to_string(name);
+        }
+    }
+    return os.str();
+}
+
+}  // namespace extradeep::modeling

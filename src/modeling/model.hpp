@@ -1,0 +1,116 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/linalg.hpp"
+
+namespace extradeep::modeling {
+
+/// One multiplicative factor of a PMNF term: x_l^i * log2(x_l)^j for
+/// parameter index `param` (Eq. 5).
+struct Factor {
+    int param = 0;
+    double poly_exp = 0.0;  ///< i, may be fractional (e.g. 2/3)
+    int log_exp = 0;        ///< j
+
+    /// Evaluates the factor at a parameter value (> 0 required when the
+    /// factor actually uses the value).
+    double evaluate(double value) const;
+
+    /// Renders e.g. "x1^(2/3) * log2(x1)^2".
+    std::string to_string(const std::string& param_name) const;
+
+    bool operator==(const Factor&) const = default;
+};
+
+/// One PMNF term: coefficient times a product of per-parameter factors.
+struct Term {
+    double coefficient = 0.0;
+    std::vector<Factor> factors;
+
+    /// The term's basis value (product of factors, without the coefficient).
+    double basis(std::span<const double> point) const;
+    double evaluate(std::span<const double> point) const;
+};
+
+/// Goodness-of-fit summary of a selected model.
+struct ModelQuality {
+    double fit_smape = 0.0;   ///< SMAPE on the modeling points [%]
+    double cv_smape = 0.0;    ///< leave-one-out cross-validated SMAPE [%]
+    double r_squared = 0.0;
+    double rss = 0.0;
+    int hypotheses_searched = 0;
+};
+
+/// Bounds of a prediction interval.
+struct PredictionInterval {
+    double prediction = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+};
+
+/// A fitted PMNF performance model (Eq. 5/7/12):
+///   f(x) = c_0 + sum_k c_k * prod_l x_l^{i_kl} * log2(x_l)^{j_kl}.
+/// Besides evaluation it supports prediction intervals (via the stored OLS
+/// covariance) and asymptotic-growth comparison for bottleneck ranking
+/// (paper Sec. 3.1).
+class PerformanceModel {
+public:
+    PerformanceModel() = default;
+    PerformanceModel(double constant, std::vector<Term> terms,
+                     std::vector<std::string> param_names);
+
+    double constant() const { return constant_; }
+    const std::vector<Term>& terms() const { return terms_; }
+    const ModelQuality& quality() const { return quality_; }
+    const std::vector<std::string>& param_names() const { return param_names_; }
+
+    /// Evaluates the model at a measurement point (one value per parameter).
+    double evaluate(std::span<const double> point) const;
+    /// Single-parameter convenience.
+    double evaluate(double x) const;
+
+    /// Two-sided prediction interval for a *new observation* at `point`:
+    /// f(x) +- t* s sqrt(1 + b0' (X'X)^-1 b0). Requires the model to carry
+    /// fit information (set by the ModelGenerator) and dof >= 1; otherwise
+    /// the interval collapses to the prediction.
+    PredictionInterval predict_interval(std::span<const double> point,
+                                        double confidence = 0.95) const;
+    PredictionInterval predict_interval(double x,
+                                        double confidence = 0.95) const;
+
+    /// Dominant asymptotic growth in parameter `param`: the (poly_exp,
+    /// log_exp) pair of the fastest-growing term with a positive
+    /// coefficient; (0, 0) for constant or decaying models.
+    std::pair<double, int> dominant_growth(int param = 0) const;
+
+    /// Compares asymptotic growth in `param` against another model:
+    /// negative = grows slower, 0 = same order, positive = grows faster.
+    int compare_growth(const PerformanceModel& other, int param = 0) const;
+
+    /// Big-O style rendering of the dominant growth, e.g. "O(x1^2 * log2(x1))".
+    std::string growth_to_string(int param = 0) const;
+
+    /// Human-readable model, e.g. "158.58 + 0.58 * x1^(2/3) * log2(x1)^2".
+    std::string to_string() const;
+
+    // Set by the ModelGenerator after fitting.
+    void set_quality(const ModelQuality& q) { quality_ = q; }
+    void set_fit_info(linalg::Matrix cov_unscaled, double residual_variance,
+                      int degrees_of_freedom);
+
+private:
+    double constant_ = 0.0;
+    std::vector<Term> terms_;
+    std::vector<std::string> param_names_ = {"x1"};
+    ModelQuality quality_;
+    // OLS information for prediction intervals.
+    linalg::Matrix cov_unscaled_;
+    double residual_variance_ = 0.0;
+    int dof_ = 0;
+    bool has_fit_info_ = false;
+};
+
+}  // namespace extradeep::modeling

@@ -1,0 +1,37 @@
+#include "parallel/steps.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::parallel {
+
+StepMath compute_steps(const dnn::DatasetSpec& dataset,
+                       const ParallelConfig& config, std::int64_t batch_size,
+                       ScalingMode scaling) {
+    config.validate();
+    if (batch_size < 1) {
+        throw InvalidArgumentError("compute_steps: batch size must be >= 1");
+    }
+    StepMath m;
+    m.batch_per_worker = batch_size;
+    const std::int64_t shards = config.shards();
+
+    m.effective_train_samples = dataset.train_samples;
+    m.effective_val_samples = dataset.val_samples;
+    if (scaling == ScalingMode::Weak) {
+        m.effective_train_samples *= shards;
+        m.effective_val_samples *= shards;
+    }
+
+    // Eq. 2 / Eq. 3 with G = total ranks, M = model-parallel degree, so
+    // G/M == shards.
+    m.train_steps = (m.effective_train_samples / shards) / batch_size;
+    m.val_steps = (m.effective_val_samples / shards) / batch_size;
+
+    if (m.train_steps < 1) {
+        throw InvalidArgumentError(
+            "compute_steps: dataset too small for this configuration (n_t = 0)");
+    }
+    return m;
+}
+
+}  // namespace extradeep::parallel

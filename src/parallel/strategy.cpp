@@ -1,0 +1,80 @@
+#include "parallel/strategy.hpp"
+
+#include "common/error.hpp"
+
+namespace extradeep::parallel {
+
+std::string_view strategy_name(StrategyKind kind) {
+    switch (kind) {
+        case StrategyKind::Data: return "data parallelism";
+        case StrategyKind::Tensor: return "tensor parallelism";
+        case StrategyKind::Pipeline: return "pipeline parallelism";
+    }
+    throw InvalidArgumentError("strategy_name: unknown kind");
+}
+
+std::string_view scaling_name(ScalingMode mode) {
+    switch (mode) {
+        case ScalingMode::Weak: return "weak scaling";
+        case ScalingMode::Strong: return "strong scaling";
+    }
+    throw InvalidArgumentError("scaling_name: unknown mode");
+}
+
+int ParallelConfig::shards() const {
+    return total_ranks / model_parallel_degree;
+}
+
+void ParallelConfig::validate() const {
+    if (total_ranks < 2) {
+        throw InvalidArgumentError(
+            "ParallelConfig: at least 2 ranks required (single-process runs "
+            "are out of scope, paper Sec. 2)");
+    }
+    if (model_parallel_degree < 1) {
+        throw InvalidArgumentError("ParallelConfig: M must be >= 1");
+    }
+    if (total_ranks % model_parallel_degree != 0) {
+        throw InvalidArgumentError("ParallelConfig: M must divide the rank count");
+    }
+    if (kind == StrategyKind::Data && model_parallel_degree != 1) {
+        throw InvalidArgumentError("ParallelConfig: data parallelism requires M=1");
+    }
+    if (kind != StrategyKind::Data && model_parallel_degree < 2) {
+        throw InvalidArgumentError(
+            "ParallelConfig: tensor/pipeline parallelism requires M>=2");
+    }
+    if (kind == StrategyKind::Pipeline && microbatches < 1) {
+        throw InvalidArgumentError("ParallelConfig: microbatches must be >= 1");
+    }
+}
+
+ParallelConfig ParallelConfig::data(int ranks) {
+    ParallelConfig c;
+    c.kind = StrategyKind::Data;
+    c.total_ranks = ranks;
+    c.model_parallel_degree = 1;
+    c.validate();
+    return c;
+}
+
+ParallelConfig ParallelConfig::tensor(int ranks, int m) {
+    ParallelConfig c;
+    c.kind = StrategyKind::Tensor;
+    c.total_ranks = ranks;
+    c.model_parallel_degree = m;
+    c.validate();
+    return c;
+}
+
+ParallelConfig ParallelConfig::pipeline(int ranks, int m, int microbatches) {
+    ParallelConfig c;
+    c.kind = StrategyKind::Pipeline;
+    c.total_ranks = ranks;
+    c.model_parallel_degree = m;
+    c.microbatches = microbatches;
+    c.validate();
+    return c;
+}
+
+}  // namespace extradeep::parallel

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace extradeep::parallel {
+
+/// The three parallel training strategies evaluated in the paper (Sec. 4.1):
+/// pure data parallelism (TensorFlow + Horovod), tensor parallelism
+/// (Mesh-TensorFlow), and pipeline parallelism (PyTorch + Horovod). Pure
+/// model parallelism is serial and therefore excluded, as in the paper.
+enum class StrategyKind {
+    Data,
+    Tensor,
+    Pipeline,
+};
+
+std::string_view strategy_name(StrategyKind kind);
+
+/// Weak scaling multiplies the training set with the number of data-parallel
+/// shards; strong scaling keeps the problem size fixed (Sec. 4.1 runs every
+/// experiment in both modes).
+enum class ScalingMode {
+    Weak,
+    Strong,
+};
+
+std::string_view scaling_name(ScalingMode mode);
+
+/// A fully specified parallel execution: strategy, total MPI ranks x1, and
+/// the degree of model parallelism M. Following Eq. 2's convention, G is the
+/// total degree of parallelism (all participating ranks) and G/M is the
+/// number of data-parallel shards, so
+///   data parallel:      M = 1, shards = x1
+///   tensor/pipeline:    M = 4, shards = x1 / 4  (paper Sec. 4.2.1)
+struct ParallelConfig {
+    StrategyKind kind = StrategyKind::Data;
+    int total_ranks = 1;          ///< x1, one rank per GPU
+    int model_parallel_degree = 1;  ///< M
+    int microbatches = 4;         ///< pipeline schedule depth (pipeline only)
+
+    /// Degree of data parallelism G (Eq. 2): the total participating ranks.
+    int data_parallel_degree() const { return total_ranks; }
+    /// Number of data-parallel shards G/M (model-parallel groups).
+    int shards() const;
+
+    /// Throws InvalidArgumentError unless ranks >= 2 (the paper excludes
+    /// single-process runs), M >= 1 divides ranks, and M == 1 for pure data
+    /// parallelism.
+    void validate() const;
+
+    /// Standard configurations used in the evaluation.
+    static ParallelConfig data(int ranks);
+    static ParallelConfig tensor(int ranks, int m = 4);
+    static ParallelConfig pipeline(int ranks, int m = 4, int microbatches = 4);
+};
+
+}  // namespace extradeep::parallel

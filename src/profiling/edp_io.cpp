@@ -1,0 +1,211 @@
+#include "profiling/edp_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace extradeep::profiling {
+
+namespace {
+
+using trace::NvtxMark;
+using trace::StepKind;
+
+const char* mark_kind_str(NvtxMark::Kind k) {
+    switch (k) {
+        case NvtxMark::Kind::EpochStart: return "epoch_start";
+        case NvtxMark::Kind::EpochEnd: return "epoch_end";
+        case NvtxMark::Kind::StepStart: return "step_start";
+        case NvtxMark::Kind::StepEnd: return "step_end";
+    }
+    throw InvalidArgumentError("mark_kind_str: unknown kind");
+}
+
+NvtxMark::Kind parse_mark_kind(const std::string& s) {
+    if (s == "epoch_start") return NvtxMark::Kind::EpochStart;
+    if (s == "epoch_end") return NvtxMark::Kind::EpochEnd;
+    if (s == "step_start") return NvtxMark::Kind::StepStart;
+    if (s == "step_end") return NvtxMark::Kind::StepEnd;
+    throw ParseError("EDP: unknown mark kind '" + s + "'");
+}
+
+void check_name(const std::string& name) {
+    if (name.find('\t') != std::string::npos ||
+        name.find('\n') != std::string::npos) {
+        throw InvalidArgumentError("EDP: name contains tab/newline: " + name);
+    }
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', pos);
+        if (tab == std::string::npos) {
+            out.push_back(line.substr(pos));
+            break;
+        }
+        out.push_back(line.substr(pos, tab - pos));
+        pos = tab + 1;
+    }
+    return out;
+}
+
+double parse_double(const std::string& s, const char* what) {
+    try {
+        std::size_t idx = 0;
+        const double v = std::stod(s, &idx);
+        if (idx != s.size()) {
+            throw ParseError(std::string("EDP: trailing junk in ") + what);
+        }
+        return v;
+    } catch (const std::invalid_argument&) {
+        throw ParseError(std::string("EDP: bad number for ") + what + ": '" +
+                         s + "'");
+    } catch (const std::out_of_range&) {
+        throw ParseError(std::string("EDP: number out of range for ") + what);
+    }
+}
+
+long long parse_int(const std::string& s, const char* what) {
+    try {
+        std::size_t idx = 0;
+        const long long v = std::stoll(s, &idx);
+        if (idx != s.size()) {
+            throw ParseError(std::string("EDP: trailing junk in ") + what);
+        }
+        return v;
+    } catch (const std::invalid_argument&) {
+        throw ParseError(std::string("EDP: bad integer for ") + what + ": '" +
+                         s + "'");
+    } catch (const std::out_of_range&) {
+        throw ParseError(std::string("EDP: integer out of range for ") + what);
+    }
+}
+
+}  // namespace
+
+void write_edp(std::ostream& os, const ProfiledRun& run) {
+    os.precision(12);
+    os << "EDP\t1\n";
+    for (const auto& [key, value] : run.params) {
+        check_name(key);
+        os << "P\t" << key << '\t' << value << '\n';
+    }
+    os << "REP\t" << run.repetition << '\n';
+    os << "WALL\t" << run.profiling_wall_time << '\n';
+    for (const auto& rank : run.ranks) {
+        os << "RANK\t" << rank.rank << '\n';
+        for (const auto& m : rank.marks) {
+            os << "M\t" << mark_kind_str(m.kind) << '\t' << m.epoch << '\t'
+               << m.step << '\t' << trace::step_kind_name(m.step_kind) << '\t'
+               << m.time << '\n';
+        }
+        for (const auto& e : rank.events) {
+            check_name(e.name);
+            os << "E\t" << e.name << '\t' << trace::category_name(e.category)
+               << '\t' << e.start << '\t' << e.duration << '\t' << e.visits
+               << '\t' << e.bytes << '\n';
+        }
+    }
+    os << "END\n";
+    if (!os) {
+        throw Error("EDP: write failed");
+    }
+}
+
+ProfiledRun read_edp(std::istream& is) {
+    ProfiledRun run;
+    std::string line;
+    if (!std::getline(is, line)) {
+        throw ParseError("EDP: empty input");
+    }
+    {
+        const auto f = split_tabs(line);
+        if (f.size() != 2 || f[0] != "EDP") {
+            throw ParseError("EDP: missing header");
+        }
+        if (f[1] != "1") {
+            throw ParseError("EDP: unsupported version " + f[1]);
+        }
+    }
+    trace::RankTrace* current = nullptr;
+    bool saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const auto f = split_tabs(line);
+        const std::string& tag = f[0];
+        if (tag == "P") {
+            if (f.size() != 3) throw ParseError("EDP: malformed P line");
+            run.params[f[1]] = parse_double(f[2], "param value");
+        } else if (tag == "REP") {
+            if (f.size() != 2) throw ParseError("EDP: malformed REP line");
+            run.repetition = static_cast<int>(parse_int(f[1], "repetition"));
+        } else if (tag == "WALL") {
+            if (f.size() != 2) throw ParseError("EDP: malformed WALL line");
+            run.profiling_wall_time = parse_double(f[1], "wall time");
+        } else if (tag == "RANK") {
+            if (f.size() != 2) throw ParseError("EDP: malformed RANK line");
+            trace::RankTrace t;
+            t.rank = static_cast<int>(parse_int(f[1], "rank"));
+            run.ranks.push_back(std::move(t));
+            current = &run.ranks.back();
+        } else if (tag == "M") {
+            if (!current) throw ParseError("EDP: mark before RANK");
+            if (f.size() != 6) throw ParseError("EDP: malformed M line");
+            NvtxMark m;
+            m.kind = parse_mark_kind(f[1]);
+            m.epoch = static_cast<int>(parse_int(f[2], "epoch"));
+            m.step = static_cast<int>(parse_int(f[3], "step"));
+            if (f[4] == "train") {
+                m.step_kind = StepKind::Train;
+            } else if (f[4] == "validation") {
+                m.step_kind = StepKind::Validation;
+            } else {
+                throw ParseError("EDP: unknown step kind '" + f[4] + "'");
+            }
+            m.time = parse_double(f[5], "mark time");
+            current->marks.push_back(m);
+        } else if (tag == "E") {
+            if (!current) throw ParseError("EDP: event before RANK");
+            if (f.size() != 7) throw ParseError("EDP: malformed E line");
+            trace::TraceEvent e;
+            e.name = f[1];
+            e.category = trace::parse_category(f[2]);
+            e.start = parse_double(f[3], "event start");
+            e.duration = parse_double(f[4], "event duration");
+            e.visits = parse_int(f[5], "event visits");
+            e.bytes = parse_double(f[6], "event bytes");
+            current->events.push_back(std::move(e));
+        } else if (tag == "END") {
+            saw_end = true;
+            break;
+        } else {
+            throw ParseError("EDP: unknown record tag '" + tag + "'");
+        }
+    }
+    if (!saw_end) {
+        throw ParseError("EDP: truncated file (missing END)");
+    }
+    return run;
+}
+
+void write_edp_file(const std::string& path, const ProfiledRun& run) {
+    std::ofstream os(path);
+    if (!os) {
+        throw Error("EDP: cannot open for writing: " + path);
+    }
+    write_edp(os, run);
+}
+
+ProfiledRun read_edp_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) {
+        throw Error("EDP: cannot open for reading: " + path);
+    }
+    return read_edp(is);
+}
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "profiling/profiler.hpp"
+
+namespace extradeep::profiling {
+
+/// EDP ("Extra-Deep Profile") is this library's on-disk profile format - the
+/// substitute for Nsight Systems report exports. It is a versioned,
+/// tab-separated text format, one file per profiled run, containing the
+/// execution parameters, repetition index, and every rank's NVTX marks and
+/// kernel events:
+///
+///   EDP<TAB>1
+///   P<TAB>x1<TAB>8
+///   REP<TAB>0
+///   WALL<TAB>12.34
+///   RANK<TAB>0
+///   M<TAB>epoch_start<TAB>0<TAB>-1<TAB>train<TAB>0
+///   E<TAB>EigenMetaKernel<TAB>CUDA kernel<TAB>0.1<TAB>0.02<TAB>53<TAB>0
+///   ...
+///   END
+///
+/// Kernel names must not contain tab characters; write_edp enforces this.
+
+/// Serialises a profiled run. Throws InvalidArgumentError on names
+/// containing tabs/newlines.
+void write_edp(std::ostream& os, const ProfiledRun& run);
+
+/// Parses a profiled run; throws ParseError on malformed input, including
+/// version mismatches and truncated files (missing END).
+ProfiledRun read_edp(std::istream& is);
+
+/// File-based convenience wrappers. Throw Error on I/O failure.
+void write_edp_file(const std::string& path, const ProfiledRun& run);
+ProfiledRun read_edp_file(const std::string& path);
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,58 @@
+#include "profiling/profiler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace extradeep::profiling {
+
+Profiler::Profiler(SamplingStrategy strategy, double overhead_fraction)
+    : strategy_(strategy), overhead_fraction_(overhead_fraction) {
+    if (overhead_fraction < 0.0) {
+        throw InvalidArgumentError("Profiler: negative overhead fraction");
+    }
+}
+
+ProfiledRun Profiler::profile(const sim::TrainingSimulator& simulator,
+                              std::map<std::string, double> params,
+                              int repetition,
+                              std::uint64_t experiment_seed) const {
+    ProfiledRun run;
+    run.params = std::move(params);
+    run.repetition = repetition;
+    const std::uint64_t seed = run_seed_for(run.params, repetition, experiment_seed);
+    const sim::TraceOptions opts = strategy_.trace_options(seed);
+    const int ranks = simulator.workload().parallel.total_ranks;
+    run.ranks.reserve(ranks);
+    for (int r = 0; r < ranks; ++r) {
+        run.ranks.push_back(simulator.trace_rank(r, opts));
+    }
+    double wall = 0.0;
+    for (const auto& t : run.ranks) {
+        wall = std::max(wall, t.wall_time());
+    }
+    run.profiling_wall_time = wall * (1.0 + overhead_fraction_);
+    return run;
+}
+
+double Profiler::profiling_cost(const sim::TrainingSimulator& simulator) const {
+    const sim::TraceOptions opts = strategy_.trace_options(1);
+    return simulator.run_wall_time(opts) * (1.0 + overhead_fraction_);
+}
+
+std::uint64_t run_seed_for(const std::map<std::string, double>& params,
+                           int repetition, std::uint64_t experiment_seed) {
+    std::uint64_t h = mix64(experiment_seed, 0x45445250ULL);  // "EDRP"
+    for (const auto& [key, value] : params) {
+        std::uint64_t kh = 1469598103934665603ULL;
+        for (char c : key) {
+            kh = (kh ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+        }
+        h = mix64(h, kh);
+        h = mix64(h, static_cast<std::uint64_t>(std::llround(value * 1e6)));
+    }
+    return mix64(h, static_cast<std::uint64_t>(repetition));
+}
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "profiling/sampling.hpp"
+#include "sim/simulator.hpp"
+#include "trace/timeline.hpp"
+
+namespace extradeep::profiling {
+
+/// The output of profiling one application configuration once: the traces of
+/// all MPI ranks plus the execution parameters that identify the
+/// configuration (a measurement point P(x1, ..., xm)) and the repetition
+/// index. This is the simulator-backed equivalent of one Nsight Systems
+/// report set.
+struct ProfiledRun {
+    std::map<std::string, double> params;  ///< e.g. {"x1": 8}
+    int repetition = 0;
+    std::vector<trace::RankTrace> ranks;
+    /// Wall time of executing + profiling this run (for Fig. 8 accounting).
+    double profiling_wall_time = 0.0;
+};
+
+/// Drives the simulator like Nsight Systems drives a real job: runs the
+/// configured sampling strategy and collects per-rank traces, accounting for
+/// the profiler's own overhead (paper Sec. 4.2.4: ~5.4 % of execution time).
+class Profiler {
+public:
+    explicit Profiler(SamplingStrategy strategy,
+                      double overhead_fraction = 0.054);
+
+    const SamplingStrategy& strategy() const { return strategy_; }
+
+    /// Profiles one run of `simulator`'s configuration. `params` names the
+    /// measurement point (the aggregation stage models against these
+    /// values); `repetition` seeds the run's noise.
+    ProfiledRun profile(const sim::TrainingSimulator& simulator,
+                        std::map<std::string, double> params, int repetition,
+                        std::uint64_t experiment_seed = 0) const;
+
+    /// Predicted wall-clock cost of profiling one run under this strategy,
+    /// including profiler overhead - without generating the events.
+    double profiling_cost(const sim::TrainingSimulator& simulator) const;
+
+private:
+    SamplingStrategy strategy_;
+    double overhead_fraction_;
+};
+
+/// Derives the per-run noise seed from the measurement point and the
+/// repetition, so profiling and ground-truth measurement of the same run
+/// agree.
+std::uint64_t run_seed_for(const std::map<std::string, double>& params,
+                           int repetition, std::uint64_t experiment_seed);
+
+}  // namespace extradeep::profiling

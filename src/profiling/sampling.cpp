@@ -1,0 +1,49 @@
+#include "profiling/sampling.hpp"
+
+#include <sstream>
+
+namespace extradeep::profiling {
+
+SamplingStrategy SamplingStrategy::efficient() {
+    SamplingStrategy s;
+    s.kind = Kind::Efficient;
+    s.epochs = 2;
+    s.train_steps_per_epoch = 5;
+    s.val_steps_per_epoch = 5;
+    s.discard_warmup_epochs = 1;
+    return s;
+}
+
+SamplingStrategy SamplingStrategy::standard() {
+    SamplingStrategy s;
+    s.kind = Kind::Standard;
+    s.epochs = 2;
+    s.train_steps_per_epoch = -1;
+    s.val_steps_per_epoch = -1;
+    s.discard_warmup_epochs = 1;
+    return s;
+}
+
+sim::TraceOptions SamplingStrategy::trace_options(std::uint64_t run_seed) const {
+    sim::TraceOptions o;
+    o.epochs = epochs;
+    o.train_steps_per_epoch = train_steps_per_epoch;
+    o.val_steps_per_epoch = val_steps_per_epoch;
+    o.run_seed = run_seed;
+    return o;
+}
+
+std::string SamplingStrategy::describe() const {
+    std::ostringstream os;
+    os << (kind == Kind::Efficient ? "efficient sampling" : "standard profiling")
+       << " (" << epochs << " epochs, ";
+    if (train_steps_per_epoch < 0) {
+        os << "all";
+    } else {
+        os << train_steps_per_epoch;
+    }
+    os << " train steps, " << discard_warmup_epochs << " warm-up epoch(s) discarded)";
+    return os.str();
+}
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+#include "trace/kernel.hpp"
+
+namespace extradeep::sim {
+
+/// Per-step cost record of one distinct kernel/function. The simulator
+/// derives these deterministic bases once per configuration and then applies
+/// stochastic noise per run/step. Times/bytes/visits are totals over one
+/// step (a kernel executed by 53 convolution layers has 53 visits and the
+/// summed duration).
+struct KernelDesc {
+    std::string name;
+    trace::KernelCategory category = trace::KernelCategory::CudaKernel;
+    double train_time = 0.0;          ///< seconds per training step
+    double val_time = 0.0;            ///< seconds per validation step
+    std::int64_t train_visits = 0;    ///< executions per training step
+    std::int64_t val_visits = 0;
+    double train_bytes = 0.0;         ///< transferred bytes per training step
+    double val_bytes = 0.0;
+    bool on_gpu = false;              ///< contributes to cudaLaunchKernel count
+    bool async_after_step = false;    ///< emitted in the gap after the step
+                                      ///< (asynchronous kernels, Fig. 2 (1))
+};
+
+/// One-off cost record for the initialisation phase (I/O, weight broadcast,
+/// first-time allocations) executed before the first epoch.
+struct InitDesc {
+    std::string name;
+    trace::KernelCategory category = trace::KernelCategory::Os;
+    double time = 0.0;
+    double bytes = 0.0;
+    std::int64_t visits = 1;
+};
+
+/// The deterministic execution blueprint of one workload configuration:
+/// every distinct kernel with its per-step cost, the initialisation phase,
+/// and per-epoch bookkeeping overhead.
+struct StepSchedule {
+    std::vector<KernelDesc> kernels;
+    std::vector<InitDesc> init;
+    double epoch_overhead_s = 0.0;  ///< shuffle/bookkeeping between epochs
+    /// Deterministic (noise-free) totals of one training / validation step.
+    double train_step_time() const;
+    double val_step_time() const;
+    /// Deterministic per-step total of one phase (computation /
+    /// communication / memory), for calibration and tests.
+    double train_phase_time(trace::Phase phase) const;
+};
+
+/// Expands the workload's network, parallel strategy, and communication plan
+/// into the per-step kernel schedule, pricing GPU kernels with the roofline
+/// model and communication with the hw collective models. This is where
+/// TensorFlow/PyTorch execution is substituted: the kernel population
+/// (cuDNN/cuBLAS/Eigen/NCCL/MPI/OS/NVTX) mirrors what Nsight Systems reports
+/// for the paper's benchmarks.
+StepSchedule build_step_schedule(const Workload& workload);
+
+}  // namespace extradeep::sim

@@ -1,0 +1,41 @@
+#include "sim/noise.hpp"
+
+namespace extradeep::sim {
+
+NoiseModel::NoiseModel(const hw::NoiseSpec& spec, int total_ranks,
+                       std::uint64_t run_seed)
+    : spec_(spec), run_seed_(run_seed) {
+    comp_sigma_ = spec.compute_sigma(total_ranks);
+    comm_sigma_ = spec.comm_sigma(total_ranks);
+    Rng rng(mix64(run_seed, 0x52554e5f46414354ULL));  // "RUN_FACT"
+    run_comp_factor_ = rng.lognormal_factor(kRunShare * comp_sigma_);
+    run_comm_factor_ = rng.lognormal_factor(kRunShare * comm_sigma_);
+}
+
+double NoiseModel::run_factor(trace::KernelCategory category) const {
+    return trace::phase_of(category) == trace::Phase::Communication
+               ? run_comm_factor_
+               : run_comp_factor_;
+}
+
+double NoiseModel::step_factor(Rng& step_rng,
+                               trace::KernelCategory category) const {
+    const double sigma =
+        trace::phase_of(category) == trace::Phase::Communication ? comm_sigma_
+                                                                 : comp_sigma_;
+    return step_rng.lognormal_factor(kStepShare * sigma);
+}
+
+double NoiseModel::rank_factor(int rank) const {
+    Rng rng(mix64(run_seed_, mix64(0x52414e4bULL, static_cast<std::uint64_t>(rank))));
+    return rng.lognormal_factor(0.01);
+}
+
+double NoiseModel::spike_duration(Rng& step_rng, double step_time) const {
+    if (!step_rng.bernoulli(spec_.os_spike_probability)) {
+        return 0.0;
+    }
+    return step_rng.exponential(spec_.os_spike_fraction * step_time);
+}
+
+}  // namespace extradeep::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "hw/system.hpp"
+#include "trace/kernel.hpp"
+
+namespace extradeep::sim {
+
+/// Stochastic noise of one application run (one configuration x one
+/// measurement repetition). Noise has two components, which is what makes
+/// run-to-run variation dominate step-to-step variation as on real systems:
+///  - a *run-level* multiplicative factor, drawn once per run per phase
+///    (system state: congestion, thermals, co-running jobs), and
+///  - a *step-level* i.i.d. jitter per (kernel, step),
+/// plus rare OS-noise spikes and a small persistent per-rank speed factor.
+/// The sigmas come from the SystemSpec's NoiseSpec and grow with the rank
+/// count (paper Sec. 4.3: variation increases with scale).
+class NoiseModel {
+public:
+    /// `run_seed` must uniquely identify (workload, configuration,
+    /// repetition); equal seeds reproduce the identical run.
+    NoiseModel(const hw::NoiseSpec& spec, int total_ranks,
+               std::uint64_t run_seed);
+
+    /// Run-level factor for a kernel category (communication is noisier).
+    double run_factor(trace::KernelCategory category) const;
+
+    /// Per-(kernel, step) jitter factor; advances `step_rng`.
+    double step_factor(Rng& step_rng, trace::KernelCategory category) const;
+
+    /// Persistent relative speed of a rank within this run (stragglers).
+    double rank_factor(int rank) const;
+
+    /// Samples the OS-noise spike duration for one training step: zero for
+    /// most steps, an exponential fraction of `step_time` otherwise.
+    double spike_duration(Rng& step_rng, double step_time) const;
+
+    /// Effective sigmas (exposed for calibration tests).
+    double comp_sigma() const { return comp_sigma_; }
+    double comm_sigma() const { return comm_sigma_; }
+
+    /// Fraction of the total sigma carried by the run-level component.
+    static constexpr double kRunShare = 0.8;
+    /// Fraction carried by the step-level component (quadrature complement).
+    static constexpr double kStepShare = 0.6;
+
+private:
+    hw::NoiseSpec spec_;
+    double comp_sigma_ = 0.0;
+    double comm_sigma_ = 0.0;
+    double run_comp_factor_ = 1.0;
+    double run_comm_factor_ = 1.0;
+    std::uint64_t run_seed_ = 0;
+};
+
+}  // namespace extradeep::sim

@@ -1,0 +1,344 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace extradeep::sim {
+
+using trace::KernelCategory;
+using trace::NvtxMark;
+using trace::StepKind;
+
+namespace {
+
+/// First-epoch warm-up inflation of step `s`: graph tracing, allocator
+/// growth and cuDNN autotuning make the first steps much slower and noisier
+/// (paper Sec. 2.1: "one will encounter high variations ... during the first
+/// few training steps").
+double warmup_factor(int epoch, std::int64_t step) {
+    if (epoch > 0) {
+        return 1.0;
+    }
+    if (step == 0) return 2.6;
+    if (step == 1) return 1.6;
+    if (step == 2) return 1.25;
+    return 1.06;
+}
+
+constexpr std::uint64_t kTraceStream = 0x5452414345ULL;      // "TRACE"
+constexpr std::uint64_t kEpochStream = 0x45504f4348ULL;      // "EPOCH"
+constexpr std::uint64_t kSpikeStream = 0x5350494b45ULL;      // "SPIKE"
+
+}  // namespace
+
+TrainingSimulator::TrainingSimulator(Workload workload)
+    : workload_(std::move(workload)),
+      schedule_(build_step_schedule(workload_)),
+      step_math_(workload_.step_math()) {}
+
+trace::RankTrace TrainingSimulator::trace_rank(int rank,
+                                               const TraceOptions& opts) const {
+    if (rank < 0 || rank >= workload_.parallel.total_ranks) {
+        throw InvalidArgumentError("trace_rank: rank out of range");
+    }
+    const NoiseModel noise(workload_.system.noise,
+                           workload_.system.nodes_for_ranks(
+                               workload_.parallel.total_ranks),
+                           opts.run_seed);
+    const double rank_f = noise.rank_factor(rank);
+    Rng rng = Rng(opts.run_seed)
+                  .fork(kTraceStream)
+                  .fork(static_cast<std::uint64_t>(rank));
+
+    const std::int64_t n_train = opts.train_steps_per_epoch < 0
+                                     ? step_math_.train_steps
+                                     : opts.train_steps_per_epoch;
+    const std::int64_t n_val = opts.val_steps_per_epoch < 0
+                                   ? step_math_.val_steps
+                                   : opts.val_steps_per_epoch;
+
+    trace::RankTrace out;
+    out.rank = rank;
+    double cursor = 0.0;
+
+    auto emit = [&](const std::string& name, KernelCategory cat,
+                    double duration, std::int64_t visits, double bytes) {
+        if (visits <= 0 || duration < 0.0) {
+            return;
+        }
+        if (opts.collapse_repeats || visits == 1) {
+            trace::TraceEvent e;
+            e.name = name;
+            e.category = cat;
+            e.start = cursor;
+            e.duration = duration;
+            e.visits = visits;
+            e.bytes = bytes;
+            cursor += duration;
+            out.events.push_back(std::move(e));
+        } else {
+            const double each = duration / static_cast<double>(visits);
+            const double bytes_each = bytes / static_cast<double>(visits);
+            for (std::int64_t i = 0; i < visits; ++i) {
+                trace::TraceEvent e;
+                e.name = name;
+                e.category = cat;
+                e.start = cursor;
+                e.duration = each;
+                e.visits = 1;
+                e.bytes = bytes_each;
+                cursor += each;
+                out.events.push_back(std::move(e));
+            }
+        }
+    };
+
+    // Initialisation phase (before epoch 0; ignored by step aggregation but
+    // part of the run's wall time).
+    for (const auto& init : schedule_.init) {
+        const double f =
+            noise.run_factor(init.category) * noise.step_factor(rng, init.category);
+        emit(init.name, init.category, init.time * f * rank_f, init.visits,
+             init.bytes);
+    }
+    {
+        trace::TraceEvent e;
+        e.name = "load_data_done";
+        e.category = KernelCategory::NvtxFunction;
+        e.start = cursor;
+        e.duration = 1e-6;
+        out.events.push_back(std::move(e));
+        cursor += 1e-6;
+    }
+
+    auto run_step = [&](int epoch, std::int64_t step_idx, StepKind kind,
+                        std::int64_t global_step) {
+        NvtxMark start;
+        start.kind = NvtxMark::Kind::StepStart;
+        start.epoch = epoch;
+        start.step = static_cast<int>(global_step);
+        start.step_kind = kind;
+        start.time = cursor;
+        out.marks.push_back(start);
+
+        const double warm =
+            kind == StepKind::Train ? warmup_factor(epoch, step_idx) : 1.0;
+
+        // cuDNN autotuning burst in the very first training step.
+        if (epoch == 0 && step_idx == 0 && kind == StepKind::Train) {
+            emit("cudnnFindConvolutionForwardAlgorithm", KernelCategory::Cudnn,
+                 0.35 * rank_f, 1, 0.0);
+            emit("cuModuleLoadData", KernelCategory::CudaApi, 0.08 * rank_f, 4,
+                 0.0);
+        }
+
+        double async_time = 0.0;
+        double async_bytes = 0.0;
+        std::int64_t async_visits = 0;
+        std::string async_name;
+        KernelCategory async_cat = KernelCategory::Memcpy;
+
+        double step_base_total = 0.0;
+        for (const auto& k : schedule_.kernels) {
+            const double base =
+                kind == StepKind::Train ? k.train_time : k.val_time;
+            const std::int64_t visits =
+                kind == StepKind::Train ? k.train_visits : k.val_visits;
+            const double bytes =
+                kind == StepKind::Train ? k.train_bytes : k.val_bytes;
+            if (visits <= 0) {
+                continue;
+            }
+            step_base_total += base;
+            const double f = noise.run_factor(k.category) *
+                             noise.step_factor(rng, k.category) * rank_f * warm;
+            if (k.async_after_step) {
+                async_time += base * f;
+                async_bytes += bytes;
+                async_visits += visits;
+                async_name = k.name;
+                async_cat = k.category;
+                continue;
+            }
+            emit(k.name, k.category, base * f, visits, bytes);
+        }
+
+        // OS-noise spike, visible as an extra OS-category event.
+        if (kind == StepKind::Train) {
+            const double spike = noise.spike_duration(rng, step_base_total);
+            if (spike > 0.0) {
+                emit("os_interruption", KernelCategory::Os, spike, 1, 0.0);
+            }
+        }
+
+        NvtxMark end = start;
+        end.kind = NvtxMark::Kind::StepEnd;
+        end.time = cursor;
+        out.marks.push_back(end);
+
+        // Asynchronous kernels complete after the step's NVTX end mark
+        // (Fig. 2 (1): events between s_end and the next s_start).
+        if (async_visits > 0) {
+            emit(async_name, async_cat, async_time, async_visits, async_bytes);
+        }
+    };
+
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        NvtxMark es;
+        es.kind = NvtxMark::Kind::EpochStart;
+        es.epoch = epoch;
+        es.time = cursor;
+        out.marks.push_back(es);
+
+        std::int64_t global_step = 0;
+        for (std::int64_t s = 0; s < n_train; ++s, ++global_step) {
+            run_step(epoch, s, StepKind::Train, global_step);
+        }
+        for (std::int64_t s = 0; s < n_val; ++s, ++global_step) {
+            run_step(epoch, s, StepKind::Validation, global_step);
+        }
+
+        NvtxMark ee = es;
+        ee.kind = NvtxMark::Kind::EpochEnd;
+        ee.time = cursor;
+        out.marks.push_back(ee);
+
+        // Between-epoch bookkeeping (shuffle, checkpoint) is outside the
+        // epoch range and thus excluded from step aggregation.
+        emit("write_checkpoint", KernelCategory::Os,
+             schedule_.epoch_overhead_s * rank_f, 1, 0.0);
+    }
+    return out;
+}
+
+double TrainingSimulator::run_wall_time(const TraceOptions& opts) const {
+    // Deterministic expectation of the truncated run's duration; noise
+    // factors have mean one, so the noise-free sum is the right cost proxy.
+    const std::int64_t n_train = opts.train_steps_per_epoch < 0
+                                     ? step_math_.train_steps
+                                     : opts.train_steps_per_epoch;
+    const std::int64_t n_val = opts.val_steps_per_epoch < 0
+                                   ? step_math_.val_steps
+                                   : opts.val_steps_per_epoch;
+    double t = 0.0;
+    for (const auto& init : schedule_.init) {
+        t += init.time;
+    }
+    const double train_step = schedule_.train_step_time();
+    const double val_step = schedule_.val_step_time();
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        double warm_total = 0.0;
+        for (std::int64_t s = 0; s < n_train; ++s) {
+            warm_total += warmup_factor(epoch, s);
+        }
+        t += warm_total * train_step;
+        t += static_cast<double>(n_val) * val_step;
+        t += schedule_.epoch_overhead_s;
+        if (epoch == 0 && n_train > 0) {
+            t += 0.35 + 0.08;  // autotune + module load burst
+        }
+    }
+    return t;
+}
+
+EpochMeasurement TrainingSimulator::epoch_totals(std::uint64_t run_seed,
+                                                 double rank_factor) const {
+    const NoiseModel noise(workload_.system.noise,
+                           workload_.system.nodes_for_ranks(
+                               workload_.parallel.total_ranks),
+                           run_seed);
+    Rng rng = Rng(run_seed).fork(kEpochStream);
+    const double n_t = static_cast<double>(step_math_.train_steps);
+    const double n_v = static_cast<double>(step_math_.val_steps);
+
+    EpochMeasurement m;
+    m.kernels.reserve(schedule_.kernels.size());
+    for (const auto& k : schedule_.kernels) {
+        // Step-level jitter averages out over a full epoch; the residual
+        // epoch-level jitter shrinks with sqrt(n_t).
+        const double resid_sigma =
+            NoiseModel::kStepShare *
+            (trace::phase_of(k.category) == trace::Phase::Communication
+                 ? noise.comm_sigma()
+                 : noise.comp_sigma()) /
+            std::sqrt(std::max(1.0, n_t));
+        const double f = noise.run_factor(k.category) * rank_factor *
+                         rng.lognormal_factor(resid_sigma);
+        KernelTotals tot;
+        tot.name = k.name;
+        tot.category = k.category;
+        tot.time = (n_t * k.train_time + n_v * k.val_time) * f;
+        tot.visits = static_cast<std::int64_t>(n_t) * k.train_visits +
+                     static_cast<std::int64_t>(n_v) * k.val_visits;
+        tot.bytes = n_t * k.train_bytes + n_v * k.val_bytes;
+        const auto phase = static_cast<int>(trace::phase_of(k.category));
+        m.phase_time[phase] += tot.time;
+        m.wall_time += tot.time;
+        m.kernels.push_back(std::move(tot));
+    }
+
+    // OS-noise spikes over the epoch's training steps.
+    Rng spike_rng = Rng(run_seed).fork(kSpikeStream);
+    const std::int64_t spikes = spike_rng.poisson(
+        n_t * workload_.system.noise.os_spike_probability);
+    const double step_time = schedule_.train_step_time();
+    double spike_total = 0.0;
+    for (std::int64_t i = 0; i < spikes; ++i) {
+        spike_total +=
+            spike_rng.exponential(workload_.system.noise.os_spike_fraction *
+                                  step_time);
+    }
+    m.wall_time += spike_total;
+    m.phase_time[static_cast<int>(trace::Phase::Computation)] += spike_total;
+    m.wall_time += schedule_.epoch_overhead_s;
+    return m;
+}
+
+EpochMeasurement TrainingSimulator::measure_epoch(int rank,
+                                                  std::uint64_t run_seed) const {
+    if (rank < 0 || rank >= workload_.parallel.total_ranks) {
+        throw InvalidArgumentError("measure_epoch: rank out of range");
+    }
+    const NoiseModel noise(workload_.system.noise,
+                           workload_.system.nodes_for_ranks(
+                               workload_.parallel.total_ranks),
+                           run_seed);
+    return epoch_totals(run_seed, noise.rank_factor(rank));
+}
+
+EpochMeasurement TrainingSimulator::measure_epoch_typical(
+    std::uint64_t run_seed) const {
+    const NoiseModel noise(workload_.system.noise,
+                           workload_.system.nodes_for_ranks(
+                               workload_.parallel.total_ranks),
+                           run_seed);
+    std::vector<double> factors;
+    factors.reserve(workload_.parallel.total_ranks);
+    for (int r = 0; r < workload_.parallel.total_ranks; ++r) {
+        factors.push_back(noise.rank_factor(r));
+    }
+    std::sort(factors.begin(), factors.end());
+    const double median_f = factors[factors.size() / 2];
+    return epoch_totals(run_seed, median_f);
+}
+
+double TrainingSimulator::measure_epoch_wall(std::uint64_t run_seed) const {
+    const NoiseModel noise(workload_.system.noise,
+                           workload_.system.nodes_for_ranks(
+                               workload_.parallel.total_ranks),
+                           run_seed);
+    // Collectives synchronise every step, so the job advances at the pace of
+    // its slowest rank's computation; communication time is shared.
+    double max_rank_f = 0.0;
+    for (int r = 0; r < workload_.parallel.total_ranks; ++r) {
+        max_rank_f = std::max(max_rank_f, noise.rank_factor(r));
+    }
+    const EpochMeasurement base = epoch_totals(run_seed, 1.0);
+    const double comm =
+        base.phase_time[static_cast<int>(trace::Phase::Communication)];
+    return comm + (base.wall_time - comm) * max_rank_f;
+}
+
+}  // namespace extradeep::sim

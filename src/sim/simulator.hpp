@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/steps.hpp"
+#include "sim/kernel_schedule.hpp"
+#include "sim/noise.hpp"
+#include "sim/workload.hpp"
+#include "trace/timeline.hpp"
+
+namespace extradeep::sim {
+
+/// Options for trace-mode simulation (the profiling path).
+struct TraceOptions {
+    int epochs = 2;
+    /// Training steps executed per epoch; -1 runs the full n_t. The paper's
+    /// efficient sampling strategy runs/profiles only 5.
+    std::int64_t train_steps_per_epoch = -1;
+    /// Validation steps per epoch; -1 runs the full n_v.
+    std::int64_t val_steps_per_epoch = -1;
+    /// When true (default), repeated executions of the same kernel within a
+    /// step are recorded as a single event carrying a visit count — like a
+    /// pre-aggregated profile. When false, every execution is its own event.
+    bool collapse_repeats = true;
+    /// Identifies the measurement repetition; equal seeds give identical runs.
+    std::uint64_t run_seed = 1;
+};
+
+/// Per-kernel metric totals over one epoch (ground truth for evaluation).
+struct KernelTotals {
+    std::string name;
+    trace::KernelCategory category = trace::KernelCategory::CudaKernel;
+    double time = 0.0;
+    std::int64_t visits = 0;
+    double bytes = 0.0;
+};
+
+/// Ground-truth measurement of one full training epoch on one rank.
+struct EpochMeasurement {
+    double wall_time = 0.0;  ///< epoch duration incl. OS spikes and overhead
+    double phase_time[trace::kPhaseCount] = {};  ///< comp / comm / mem totals
+    std::vector<KernelTotals> kernels;
+};
+
+/// The distributed-training simulator. One instance corresponds to one
+/// launched job configuration; it can produce
+///  (a) Nsight-like per-rank traces of a (possibly truncated) run - the
+///      input to the profiling/aggregation pipeline, and
+///  (b) fast ground-truth full-epoch measurements - the "actual measured
+///      value" the paper's evaluation compares its models against.
+/// Both paths share the same deterministic kernel schedule and the same
+/// run-level noise factors, so they are mutually consistent.
+class TrainingSimulator {
+public:
+    explicit TrainingSimulator(Workload workload);
+
+    const Workload& workload() const { return workload_; }
+    const StepSchedule& schedule() const { return schedule_; }
+    const parallel::StepMath& step_math() const { return step_math_; }
+
+    /// Simulates one rank's timeline: initialisation, then `epochs` epochs
+    /// of training (+ validation) steps with NVTX marks. The first epoch
+    /// includes warm-up effects (cuDNN autotuning, allocator growth) that
+    /// the paper's sampling strategy deliberately discards.
+    trace::RankTrace trace_rank(int rank, const TraceOptions& opts) const;
+
+    /// Wall time of a (possibly truncated) run, for profiling-cost
+    /// accounting: trace_rank(0, opts).wall_time() without building events.
+    double run_wall_time(const TraceOptions& opts) const;
+
+    /// Ground truth: per-kernel and per-phase totals of one *full* epoch
+    /// (n_t training + n_v validation steps) on one rank, warmed up.
+    EpochMeasurement measure_epoch(int rank, std::uint64_t run_seed) const;
+
+    /// Ground-truth epoch wall time of the whole job: communication plus the
+    /// slowest rank's computation (collectives synchronise every step).
+    double measure_epoch_wall(std::uint64_t run_seed) const;
+
+    /// Ground truth for per-kernel evaluation: epoch totals of a *typical*
+    /// rank (median per-rank speed factor), matching the aggregation
+    /// pipeline's median-over-ranks semantics.
+    EpochMeasurement measure_epoch_typical(std::uint64_t run_seed) const;
+
+private:
+    EpochMeasurement epoch_totals(std::uint64_t run_seed,
+                                  double rank_factor) const;
+
+    Workload workload_;
+    StepSchedule schedule_;
+    parallel::StepMath step_math_;
+};
+
+}  // namespace extradeep::sim

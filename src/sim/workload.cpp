@@ -1,0 +1,46 @@
+#include "sim/workload.hpp"
+
+#include <sstream>
+
+namespace extradeep::sim {
+
+parallel::StepMath Workload::step_math() const {
+    return parallel::compute_steps(app.dataset, parallel, batch_per_worker,
+                                   scaling);
+}
+
+bool Workload::streams_from_disk() const {
+    // Per-rank shard size vs. a conservative share of node memory.
+    const parallel::StepMath m = step_math();
+    const double shard_bytes =
+        static_cast<double>(m.effective_train_samples) /
+        parallel.shards() * app.dataset.bytes_per_sample;
+    constexpr double kMemoryBudgetBytes = 16.0 * 1024 * 1024 * 1024;
+    return shard_bytes > kMemoryBudgetBytes;
+}
+
+std::string Workload::describe() const {
+    std::ostringstream os;
+    os << app.dataset.name << " / " << app.network.name << " on "
+       << system.name << ", " << parallel::strategy_name(parallel.kind)
+       << " (x1=" << parallel.total_ranks
+       << ", M=" << parallel.model_parallel_degree << "), "
+       << parallel::scaling_name(scaling) << ", B=" << batch_per_worker;
+    return os.str();
+}
+
+Workload Workload::make(const std::string& dataset_name,
+                        const hw::SystemSpec& system,
+                        const parallel::ParallelConfig& parallel,
+                        parallel::ScalingMode scaling,
+                        std::int64_t batch_per_worker) {
+    Workload w;
+    w.app = dnn::make_benchmark(dataset_name);
+    w.parallel = parallel;
+    w.scaling = scaling;
+    w.system = system;
+    w.batch_per_worker = batch_per_worker;
+    return w;
+}
+
+}  // namespace extradeep::sim

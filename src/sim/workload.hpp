@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dnn/datasets.hpp"
+#include "hw/system.hpp"
+#include "parallel/steps.hpp"
+#include "parallel/strategy.hpp"
+
+namespace extradeep::sim {
+
+/// A complete description of one distributed training experiment: the
+/// benchmark application (dataset + network), the parallel configuration,
+/// the scaling mode, the target system, and the per-worker batch size.
+/// This is the simulator's substitute for "launch the TensorFlow/Horovod
+/// job with these execution parameters".
+struct Workload {
+    dnn::BenchmarkApp app;
+    parallel::ParallelConfig parallel;
+    parallel::ScalingMode scaling = parallel::ScalingMode::Weak;
+    hw::SystemSpec system;
+    std::int64_t batch_per_worker = 256;
+
+    /// n_t / n_v for this configuration (Eqs. 2-3).
+    parallel::StepMath step_math() const;
+
+    /// True when the (scaled) training set is too large for node memory and
+    /// must be streamed from the parallel file system every step.
+    bool streams_from_disk() const;
+
+    /// One-line description for logs and bench headers.
+    std::string describe() const;
+
+    /// Convenience constructor for the common case.
+    static Workload make(const std::string& dataset_name,
+                         const hw::SystemSpec& system,
+                         const parallel::ParallelConfig& parallel,
+                         parallel::ScalingMode scaling,
+                         std::int64_t batch_per_worker);
+};
+
+}  // namespace extradeep::sim

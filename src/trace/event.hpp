@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/kernel.hpp"
+
+namespace extradeep::trace {
+
+/// One recorded kernel/function execution on a single rank's timeline.
+/// Times are in seconds since the start of the run on that rank.
+struct TraceEvent {
+    std::string name;        ///< kernel/function name, e.g. "EigenMetaKernel"
+    KernelCategory category = KernelCategory::CudaKernel;
+    double start = 0.0;      ///< start timestamp [s]
+    double duration = 0.0;   ///< total duration [s] over all collapsed visits
+    double bytes = 0.0;      ///< transferred bytes (memcpy/memset/comm), else 0
+    /// Number of executions this record represents. Profiles may
+    /// pre-aggregate repeated executions of a kernel within one step into a
+    /// single record whose duration/bytes are the totals; visits preserves
+    /// the execution count for the paper's visits metric.
+    std::int64_t visits = 1;
+
+    double end() const { return start + duration; }
+};
+
+/// Whether a step processes training data (gradient update) or validation
+/// data (no gradient update).
+enum class StepKind {
+    Train,
+    Validation,
+};
+
+std::string_view step_kind_name(StepKind kind);
+
+/// One NVTX timestamp mark injected by the instrumentation tool into the
+/// step/epoch callbacks (Sec. 2.2 and Fig. 2, step 1).
+struct NvtxMark {
+    enum class Kind {
+        EpochStart,
+        EpochEnd,
+        StepStart,
+        StepEnd,
+    };
+    Kind kind = Kind::EpochStart;
+    int epoch = 0;  ///< 0-based epoch index
+    int step = -1;  ///< 0-based step index within the epoch, -1 for epoch marks
+    StepKind step_kind = StepKind::Train;  ///< valid for step marks only
+    double time = 0.0;
+};
+
+}  // namespace extradeep::trace

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "aggregation/aggregate.hpp"
+#include "aggregation/experiment.hpp"
+#include "common/error.hpp"
+
+using namespace extradeep;
+using namespace extradeep::aggregation;
+using trace::KernelCategory;
+using trace::NvtxMark;
+using trace::StepKind;
+
+namespace {
+
+void add_mark(trace::RankTrace& t, NvtxMark::Kind kind, int epoch, int step,
+              double time, StepKind sk = StepKind::Train) {
+    NvtxMark m;
+    m.kind = kind;
+    m.epoch = epoch;
+    m.step = step;
+    m.step_kind = sk;
+    m.time = time;
+    t.marks.push_back(m);
+}
+
+void add_event(trace::RankTrace& t, const std::string& name,
+               KernelCategory cat, double start, double duration,
+               std::int64_t visits = 1, double bytes = 0.0) {
+    trace::TraceEvent e;
+    e.name = name;
+    e.category = cat;
+    e.start = start;
+    e.duration = duration;
+    e.visits = visits;
+    e.bytes = bytes;
+    t.events.push_back(e);
+}
+
+/// One epoch (index 0, NOT discarded in these tests), three train steps with
+/// kernel "k" of the given per-step durations.
+trace::RankTrace trace_with_step_durations(int rank,
+                                           const std::vector<double>& durs) {
+    trace::RankTrace t;
+    t.rank = rank;
+    add_mark(t, NvtxMark::Kind::EpochStart, 0, -1, 0.0);
+    double cursor = 0.0;
+    for (std::size_t s = 0; s < durs.size(); ++s) {
+        add_mark(t, NvtxMark::Kind::StepStart, 0, static_cast<int>(s), cursor);
+        add_event(t, "k", KernelCategory::CudaKernel, cursor + 0.001, durs[s]);
+        cursor += 1.0;
+        add_mark(t, NvtxMark::Kind::StepEnd, 0, static_cast<int>(s), cursor);
+        cursor += 0.1;
+    }
+    add_mark(t, NvtxMark::Kind::EpochEnd, 0, -1, cursor);
+    return t;
+}
+
+profiling::ProfiledRun run_with_ranks(std::vector<trace::RankTrace> ranks,
+                                      int rep = 0) {
+    profiling::ProfiledRun run;
+    run.params = {{"x1", 2.0}};
+    run.repetition = rep;
+    run.ranks = std::move(ranks);
+    return run;
+}
+
+const AggregationOptions kNoDiscard{.discard_warmup_epochs = 0};
+
+}  // namespace
+
+TEST(Aggregate, MedianOverStepsWithinRank) {
+    // Per-step sums 1, 5, 100 -> median 5.
+    const auto run =
+        run_with_ranks({trace_with_step_durations(0, {1.0, 5.0, 100.0})});
+    const ConfigurationData d =
+        aggregate_runs(std::vector<profiling::ProfiledRun>{run}, kNoDiscard);
+    const KernelStats* k = d.find_kernel("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Time), 5.0);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Visits), 1.0);
+}
+
+TEST(Aggregate, SumsMultipleExecutionsPerStep) {
+    // Two executions of "k" inside one step: Eq. 1's per-step sum.
+    trace::RankTrace t;
+    t.rank = 0;
+    add_mark(t, NvtxMark::Kind::EpochStart, 0, -1, 0.0);
+    add_mark(t, NvtxMark::Kind::StepStart, 0, 0, 0.0);
+    add_event(t, "k", KernelCategory::CudaKernel, 0.01, 2.0, 1, 10.0);
+    add_event(t, "k", KernelCategory::CudaKernel, 0.05, 3.0, 2, 30.0);
+    add_mark(t, NvtxMark::Kind::StepEnd, 0, 0, 1.0);
+    add_mark(t, NvtxMark::Kind::EpochEnd, 0, -1, 1.1);
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})}, kNoDiscard);
+    const KernelStats* k = d.find_kernel("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Time), 5.0);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Visits), 3.0);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Bytes), 40.0);
+}
+
+TEST(Aggregate, MedianOverRanks) {
+    // Rank step-medians 2, 4, 10 -> rank median 4.
+    const auto run = run_with_ranks({
+        trace_with_step_durations(0, {2.0, 2.0, 2.0}),
+        trace_with_step_durations(1, {4.0, 4.0, 4.0}),
+        trace_with_step_durations(2, {10.0, 10.0, 10.0}),
+    });
+    const ConfigurationData d =
+        aggregate_runs(std::vector<profiling::ProfiledRun>{run}, kNoDiscard);
+    EXPECT_DOUBLE_EQ(d.find_kernel("k")->train_metric(Metric::Time), 4.0);
+}
+
+TEST(Aggregate, MedianOverRepetitions) {
+    std::vector<profiling::ProfiledRun> runs;
+    for (int rep = 0; rep < 3; ++rep) {
+        const double v = 1.0 + rep * rep;  // 1, 2, 5 -> median 2
+        runs.push_back(
+            run_with_ranks({trace_with_step_durations(0, {v, v, v})}, rep));
+    }
+    const ConfigurationData d = aggregate_runs(runs, kNoDiscard);
+    EXPECT_DOUBLE_EQ(d.find_kernel("k")->train_metric(Metric::Time), 2.0);
+    EXPECT_EQ(d.repetitions, 3);
+    EXPECT_EQ(d.find_kernel("k")->reps_seen, 3);
+}
+
+TEST(Aggregate, KernelMissingInSomeStepsCountsZero) {
+    // Kernel appears in 1 of 3 steps: median over {v, 0, 0} == 0, so one-off
+    // kernels are naturally suppressed (paper Sec. 2.2).
+    trace::RankTrace t = trace_with_step_durations(0, {1.0, 1.0, 1.0});
+    add_event(t, "one_off", KernelCategory::Os, 0.5, 50.0);
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})}, kNoDiscard);
+    const KernelStats* k = d.find_kernel("one_off");
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Time), 0.0);
+}
+
+TEST(Aggregate, AsyncGapEventsCreditedToPrecedingStep) {
+    trace::RankTrace t = trace_with_step_durations(0, {1.0, 1.0, 1.0});
+    // Gap after each step is [k, k+0.1); add async copies there.
+    for (int s = 0; s < 3; ++s) {
+        add_event(t, "async_dtoh", KernelCategory::Memcpy, (s + 1.0) + 0.01,
+                  0.5, 1, 8.0);
+    }
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})}, kNoDiscard);
+    const KernelStats* k = d.find_kernel("async_dtoh");
+    ASSERT_NE(k, nullptr);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Time), 0.5);
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Bytes), 8.0);
+}
+
+TEST(Aggregate, DiscardWarmupEpochExcludesEpoch0) {
+    // Epoch 0 has huge durations, epoch 1 small ones; with the default
+    // discard, only epoch 1 counts.
+    trace::RankTrace t;
+    t.rank = 0;
+    double cursor = 0.0;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+        add_mark(t, NvtxMark::Kind::EpochStart, epoch, -1, cursor);
+        for (int s = 0; s < 2; ++s) {
+            add_mark(t, NvtxMark::Kind::StepStart, epoch, s, cursor);
+            add_event(t, "k", KernelCategory::CudaKernel, cursor + 0.01,
+                      epoch == 0 ? 100.0 : 1.0);
+            cursor += 1.0;
+            add_mark(t, NvtxMark::Kind::StepEnd, epoch, s, cursor);
+        }
+        add_mark(t, NvtxMark::Kind::EpochEnd, epoch, -1, cursor);
+        cursor += 0.5;
+    }
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})},
+        AggregationOptions{.discard_warmup_epochs = 1});
+    EXPECT_DOUBLE_EQ(d.find_kernel("k")->train_metric(Metric::Time), 1.0);
+}
+
+TEST(Aggregate, TrainAndValidationSeparated) {
+    trace::RankTrace t;
+    t.rank = 0;
+    add_mark(t, NvtxMark::Kind::EpochStart, 0, -1, 0.0);
+    add_mark(t, NvtxMark::Kind::StepStart, 0, 0, 0.0, StepKind::Train);
+    add_event(t, "k", KernelCategory::CudaKernel, 0.01, 2.0);
+    add_mark(t, NvtxMark::Kind::StepEnd, 0, 0, 1.0, StepKind::Train);
+    add_mark(t, NvtxMark::Kind::StepStart, 0, 1, 1.0, StepKind::Validation);
+    add_event(t, "k", KernelCategory::CudaKernel, 1.01, 0.5);
+    add_mark(t, NvtxMark::Kind::StepEnd, 0, 1, 2.0, StepKind::Validation);
+    add_mark(t, NvtxMark::Kind::EpochEnd, 0, -1, 2.0);
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})}, kNoDiscard);
+    const KernelStats* k = d.find_kernel("k");
+    EXPECT_DOUBLE_EQ(k->train_metric(Metric::Time), 2.0);
+    EXPECT_DOUBLE_EQ(k->val_metric(Metric::Time), 0.5);
+}
+
+TEST(Aggregate, PhaseTotalsSumKernelsByCategory) {
+    trace::RankTrace t;
+    t.rank = 0;
+    add_mark(t, NvtxMark::Kind::EpochStart, 0, -1, 0.0);
+    add_mark(t, NvtxMark::Kind::StepStart, 0, 0, 0.0);
+    add_event(t, "compute", KernelCategory::CudaKernel, 0.01, 3.0);
+    add_event(t, "allreduce", KernelCategory::Mpi, 0.2, 2.0);
+    add_event(t, "copy", KernelCategory::Memcpy, 0.4, 1.0, 1, 100.0);
+    add_mark(t, NvtxMark::Kind::StepEnd, 0, 0, 1.0);
+    add_mark(t, NvtxMark::Kind::EpochEnd, 0, -1, 1.0);
+    const ConfigurationData d = aggregate_runs(
+        std::vector<profiling::ProfiledRun>{run_with_ranks({t})}, kNoDiscard);
+    EXPECT_DOUBLE_EQ(
+        d.phase_metric(trace::Phase::Computation, Metric::Time, true), 3.0);
+    EXPECT_DOUBLE_EQ(
+        d.phase_metric(trace::Phase::Communication, Metric::Time, true), 2.0);
+    EXPECT_DOUBLE_EQ(
+        d.phase_metric(trace::Phase::MemoryOp, Metric::Time, true), 1.0);
+    EXPECT_DOUBLE_EQ(
+        d.phase_metric(trace::Phase::MemoryOp, Metric::Bytes, true), 100.0);
+}
+
+TEST(Aggregate, ValidatesInput) {
+    EXPECT_THROW(aggregate_runs({}), InvalidArgumentError);
+    auto r1 = run_with_ranks({trace_with_step_durations(0, {1.0})});
+    auto r2 = r1;
+    r2.params = {{"x1", 4.0}};
+    std::vector<profiling::ProfiledRun> runs = {r1, r2};
+    EXPECT_THROW(aggregate_runs(runs), InvalidArgumentError);
+}
+
+TEST(ExperimentData, SortsAndFindsConfigurations) {
+    ExperimentData data("x1");
+    for (const double x : {8.0, 2.0, 4.0}) {
+        ConfigurationData c;
+        c.params = {{"x1", x}};
+        data.add(c);
+    }
+    EXPECT_EQ(data.parameter_values(), (std::vector<double>{2.0, 4.0, 8.0}));
+    EXPECT_NE(data.find(4.0), nullptr);
+    EXPECT_EQ(data.find(5.0), nullptr);
+}
+
+TEST(ExperimentData, RejectsDuplicatesAndMissingParam) {
+    ExperimentData data("x1");
+    ConfigurationData c;
+    c.params = {{"x1", 2.0}};
+    data.add(c);
+    EXPECT_THROW(data.add(c), InvalidArgumentError);
+    ConfigurationData bad;
+    bad.params = {{"other", 1.0}};
+    EXPECT_THROW(data.add(bad), InvalidArgumentError);
+}
+
+TEST(ExperimentData, KernelFilteringRequiresFiveConfigs) {
+    ExperimentData data("x1");
+    for (int i = 0; i < 6; ++i) {
+        ConfigurationData c;
+        c.params = {{"x1", static_cast<double>(2 * (i + 1))}};
+        KernelStats everywhere;
+        everywhere.name = "common_kernel";
+        c.kernels.push_back(everywhere);
+        if (i < 3) {
+            KernelStats rare;
+            rare.name = "rare_kernel";
+            c.kernels.push_back(rare);
+            std::sort(c.kernels.begin(), c.kernels.end(),
+                      [](const KernelStats& a, const KernelStats& b) {
+                          return a.name < b.name;
+                      });
+        }
+        data.add(c);
+    }
+    const auto modelable = data.modelable_kernels(5);
+    ASSERT_EQ(modelable.size(), 1u);
+    EXPECT_EQ(modelable.front(), "common_kernel");
+    // With a lower threshold the rare kernel qualifies.
+    EXPECT_EQ(data.modelable_kernels(3).size(), 2u);
+}
+
+TEST(DerivedMetrics, KernelEpochValueEq4) {
+    KernelStats k;
+    k.train[0] = 2.0;  // time per training step
+    k.val[0] = 1.0;    // time per validation step
+    parallel::StepMath sm;
+    sm.train_steps = 100;
+    sm.val_steps = 10;
+    EXPECT_DOUBLE_EQ(derived_kernel_epoch_value(k, sm, Metric::Time),
+                     100 * 2.0 + 10 * 1.0);
+}
+
+TEST(DerivedMetrics, EpochTotalSumsAllPhases) {
+    ConfigurationData c;
+    c.phase_train[0][0] = 3.0;  // computation time
+    c.phase_train[1][0] = 2.0;  // communication time
+    c.phase_train[2][0] = 1.0;  // memory time
+    c.phase_val[0][0] = 0.5;
+    parallel::StepMath sm;
+    sm.train_steps = 10;
+    sm.val_steps = 4;
+    EXPECT_DOUBLE_EQ(derived_epoch_total(c, sm, Metric::Time),
+                     10 * 6.0 + 4 * 0.5);
+    EXPECT_DOUBLE_EQ(derived_phase_epoch_value(c, trace::Phase::Communication,
+                                               sm, Metric::Time),
+                     20.0);
+}

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/bottleneck.hpp"
+#include "analysis/config_search.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/speedup.hpp"
+#include "common/error.hpp"
+
+using namespace extradeep;
+using namespace extradeep::analysis;
+using extradeep::InvalidArgumentError;
+
+namespace {
+
+modeling::PerformanceModel one_term_model(double constant, double coeff,
+                                          double poly, int log) {
+    modeling::Term t;
+    t.coefficient = coeff;
+    t.factors = {modeling::Factor{0, poly, log}};
+    return modeling::PerformanceModel(constant, {t}, {"x1"});
+}
+
+}  // namespace
+
+TEST(Speedup, Eq11Definition) {
+    // T1=100; T=50 -> +50 %; T=150 -> -50 %; baseline always 0.
+    const std::vector<double> runtimes = {100.0, 50.0, 150.0};
+    const auto d = speedups(runtimes);
+    EXPECT_DOUBLE_EQ(d[0], 0.0);
+    EXPECT_DOUBLE_EQ(d[1], 50.0);
+    EXPECT_DOUBLE_EQ(d[2], -50.0);
+}
+
+TEST(Speedup, Validation) {
+    EXPECT_THROW(speedups({}), InvalidArgumentError);
+    EXPECT_THROW(speedups(std::vector<double>{0.0, 1.0}), InvalidArgumentError);
+}
+
+TEST(Efficiency, Eq13Definition) {
+    // x: 2 -> 4 gives theoretical speedup 100 %; actual speedup 50 % ->
+    // efficiency 50 %.
+    const std::vector<double> ranks = {2.0, 4.0};
+    const std::vector<double> runtimes = {100.0, 50.0};
+    const auto e = efficiencies(ranks, runtimes);
+    EXPECT_DOUBLE_EQ(e[0], 100.0);
+    EXPECT_DOUBLE_EQ(e[1], 50.0);
+}
+
+TEST(Efficiency, WeakScalingPerfectRuntimeGivesZeroGain) {
+    // Constant runtime under more ranks: Eq. 13 efficiency drops to 0.
+    const std::vector<double> ranks = {2.0, 8.0};
+    const std::vector<double> runtimes = {100.0, 100.0};
+    const auto e = efficiencies(ranks, runtimes);
+    EXPECT_DOUBLE_EQ(e[1], 0.0);
+}
+
+TEST(Efficiency, ClassicDefinition) {
+    // Perfect strong scaling: T ~ 1/x -> 100 % classic efficiency.
+    const std::vector<double> ranks = {2.0, 4.0, 8.0};
+    const std::vector<double> runtimes = {100.0, 50.0, 25.0};
+    const auto e = classic_efficiencies(ranks, runtimes);
+    EXPECT_DOUBLE_EQ(e[0], 100.0);
+    EXPECT_DOUBLE_EQ(e[1], 100.0);
+    EXPECT_DOUBLE_EQ(e[2], 100.0);
+}
+
+TEST(Efficiency, ClassicDegradesWithOverhead) {
+    const std::vector<double> ranks = {2.0, 8.0};
+    const std::vector<double> runtimes = {100.0, 40.0};  // ideal would be 25
+    const auto e = classic_efficiencies(ranks, runtimes);
+    EXPECT_NEAR(e[1], 62.5, 1e-9);
+}
+
+TEST(Speedup, ModelFitsSpeedupCurve) {
+    // Runtimes 200/x: the true speedup 100*(1 - 2/x) saturates at 100 %.
+    // The 1/x shape is not in the PMNF space, so the fit is approximate -
+    // the model must still be increasing and land near the saturation level.
+    std::vector<double> ranks = {2, 4, 8, 16, 32};
+    std::vector<double> runtimes;
+    for (const double x : ranks) runtimes.push_back(200.0 / x);
+    const auto m = model_speedup(ranks, runtimes);
+    EXPECT_GT(m.evaluate(32.0), m.evaluate(4.0));
+    EXPECT_NEAR(m.evaluate(32.0), 93.75, 20.0);
+    EXPECT_NEAR(m.evaluate(2.0), 0.0, 20.0);
+}
+
+TEST(Cost, Eq14CoreHours) {
+    // 3600 s on 4 ranks with 8 cores each = 32 core hours.
+    EXPECT_DOUBLE_EQ(training_cost_core_hours(3600.0, 4.0, 8.0), 32.0);
+    EXPECT_THROW(training_cost_core_hours(1.0, 0.0, 8.0), InvalidArgumentError);
+}
+
+TEST(Cost, CostFunctionFactory) {
+    const CostFunction f = core_hours_cost(8.0);
+    EXPECT_DOUBLE_EQ(f(3600.0, 2.0), 16.0);
+    EXPECT_THROW(core_hours_cost(0.0), InvalidArgumentError);
+}
+
+TEST(Cost, ModelFollowsSuperlinearCost) {
+    // Weak-scaling constant runtime: cost grows linearly with ranks.
+    std::vector<double> ranks = {2, 4, 8, 16, 32};
+    std::vector<double> runtimes(5, 100.0);
+    const auto m = model_cost(ranks, runtimes, core_hours_cost(8.0));
+    EXPECT_NEAR(m.evaluate(64.0), 100.0 * 64.0 * 8.0 / 3600.0, 1.5);
+}
+
+TEST(Bottleneck, RanksByAsymptoticGrowth) {
+    std::vector<NamedModel> models;
+    models.push_back({"const_kernel", one_term_model(5.0, 0.0, 0.0, 0)});
+    models.push_back({"linear_kernel", one_term_model(0.0, 1.0, 1.0, 0)});
+    models.push_back({"quadratic_kernel", one_term_model(0.0, 0.001, 2.0, 0)});
+    models.push_back({"log_kernel", one_term_model(0.0, 50.0, 0.0, 1)});
+    const auto ranked = rank_by_growth(models, 64.0);
+    ASSERT_EQ(ranked.size(), 4u);
+    EXPECT_EQ(ranked[0].name, "quadratic_kernel");
+    EXPECT_EQ(ranked[1].name, "linear_kernel");
+    EXPECT_EQ(ranked[2].name, "log_kernel");
+    EXPECT_EQ(ranked[3].name, "const_kernel");
+    EXPECT_EQ(ranked[0].growth, "O(x1^2)");
+}
+
+TEST(Bottleneck, GrowthTieBrokenByPredictedValue) {
+    std::vector<NamedModel> models;
+    models.push_back({"small_linear", one_term_model(0.0, 1.0, 1.0, 0)});
+    models.push_back({"big_linear", one_term_model(0.0, 10.0, 1.0, 0)});
+    const auto ranked = rank_by_growth(models, 64.0);
+    EXPECT_EQ(ranked[0].name, "big_linear");
+}
+
+TEST(Bottleneck, RankByPredictedValue) {
+    std::vector<NamedModel> models;
+    models.push_back({"a", one_term_model(1000.0, 0.0, 0.0, 0)});
+    models.push_back({"b", one_term_model(0.0, 1.0, 1.0, 0)});  // 64 at x=64
+    const auto ranked = rank_by_predicted_value(models, 64.0);
+    EXPECT_EQ(ranked[0].name, "a");
+    EXPECT_THROW(rank_by_predicted_value(models, 0.0), InvalidArgumentError);
+}
+
+TEST(ConfigSearch, WeakScalingPicksSmallestFeasible) {
+    // Weak scaling: runtime rises slowly; smallest allocation wins.
+    const auto runtime = one_term_model(100.0, 10.0, 0.0, 1);
+    const auto result = find_cost_effective_config(
+        [&](double x) { return runtime.evaluate(x); }, {2, 4, 8, 16, 32},
+        core_hours_cost(8.0), {}, parallel::ScalingMode::Weak);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_DOUBLE_EQ(result.candidates[*result.best].ranks, 2.0);
+}
+
+TEST(ConfigSearch, WeakScalingRespectsTimeLimit) {
+    const auto runtime = one_term_model(100.0, 10.0, 0.0, 1);  // 110 at x=2
+    ConfigSearchLimits limits;
+    limits.max_time_s = 125.0;  // excludes x=2 (110)? no: 110 <= 125 feasible
+    limits.max_time_s = 105.0;  // now x=2 infeasible... T(2)=110
+    const auto result = find_cost_effective_config(
+        [&](double x) { return runtime.evaluate(x); }, {2, 4, 8},
+        core_hours_cost(8.0), limits, parallel::ScalingMode::Weak);
+    // All candidates exceed the time limit except none; with weak scaling
+    // runtime only grows, so nothing is feasible.
+    EXPECT_FALSE(result.best.has_value());
+}
+
+TEST(ConfigSearch, StrongScalingPicksHighestEfficiencyFeasible) {
+    // Strong scaling T = 600/x + 10: time falls, cost rises.
+    modeling::Term inv;  // approximate 1/x via -log? use explicit values.
+    // Instead, fit a model through strong-scaling values.
+    std::vector<double> ranks = {2, 4, 8, 16, 32};
+    std::vector<double> runtimes;
+    for (const double x : ranks) runtimes.push_back(600.0 / x + 10.0);
+    const auto runtime = modeling::ModelGenerator().fit(ranks, runtimes);
+
+    ConfigSearchLimits limits;
+    limits.max_time_s = 200.0;   // excludes the smallest configs
+    limits.max_cost = 10.0;      // core hours budget
+    const auto result = find_cost_effective_config(
+        [&](double x) { return runtime.evaluate(x); }, {2, 4, 8, 16, 32},
+        core_hours_cost(8.0), limits, parallel::ScalingMode::Strong);
+    ASSERT_TRUE(result.best.has_value());
+    const auto& best = result.candidates[*result.best];
+    EXPECT_TRUE(best.feasible());
+    EXPECT_LE(best.time_s, 200.0);
+    EXPECT_LE(best.cost, 10.0);
+    // Every feasible candidate has efficiency <= the chosen one.
+    for (const auto& c : result.candidates) {
+        if (c.feasible()) {
+            EXPECT_LE(c.efficiency_pct, best.efficiency_pct + 1e-9);
+        }
+    }
+}
+
+TEST(ConfigSearch, ReportsFeasibilityPerCandidate) {
+    const auto runtime = one_term_model(100.0, 0.0, 0.0, 0);  // constant 100 s
+    ConfigSearchLimits limits;
+    limits.max_cost = 1.0;  // 100 s * x * 8 / 3600 <= 1  ->  x <= 4.5
+    const auto result = find_cost_effective_config(
+        [&](double x) { return runtime.evaluate(x); }, {2, 4, 8},
+        core_hours_cost(8.0), limits, parallel::ScalingMode::Strong);
+    EXPECT_TRUE(result.candidates[0].feasible_cost);
+    EXPECT_TRUE(result.candidates[1].feasible_cost);
+    EXPECT_FALSE(result.candidates[2].feasible_cost);
+    EXPECT_TRUE(result.candidates[2].feasible_time);
+}
+
+TEST(ConfigSearch, SortsCandidates) {
+    const auto runtime = one_term_model(10.0, 1.0, 1.0, 0);
+    const auto result = find_cost_effective_config(
+        [&](double x) { return runtime.evaluate(x); }, {8, 2, 4},
+        core_hours_cost(1.0), {}, parallel::ScalingMode::Weak);
+    ASSERT_EQ(result.candidates.size(), 3u);
+    EXPECT_DOUBLE_EQ(result.candidates[0].ranks, 2.0);
+    EXPECT_DOUBLE_EQ(result.candidates[2].ranks, 8.0);
+}
+
+TEST(ConfigSearch, Validation) {
+    const auto runtime = one_term_model(1.0, 0.0, 0.0, 0);
+    const RuntimeFn fn = [&](double x) { return runtime.evaluate(x); };
+    EXPECT_THROW(find_cost_effective_config(fn, {}, core_hours_cost(1.0), {},
+                                            parallel::ScalingMode::Weak),
+                 InvalidArgumentError);
+    EXPECT_THROW(find_cost_effective_config(fn, {0.0}, core_hours_cost(1.0),
+                                            {}, parallel::ScalingMode::Weak),
+                 InvalidArgumentError);
+    EXPECT_THROW(find_cost_effective_config(RuntimeFn{}, {2.0},
+                                            core_hours_cost(1.0), {},
+                                            parallel::ScalingMode::Weak),
+                 InvalidArgumentError);
+}

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/network.hpp"
+#include "dnn/zoo.hpp"
+
+using namespace extradeep::dnn;
+using extradeep::InvalidArgumentError;
+
+TEST(TensorShape, ElementsAndBytes) {
+    TensorShape s{32, 32, 3};
+    EXPECT_EQ(s.elements(), 32 * 32 * 3);
+    EXPECT_DOUBLE_EQ(s.bytes(), 4.0 * 32 * 32 * 3);
+    EXPECT_EQ(TensorShape{}.elements(), 0);
+    EXPECT_EQ(s.to_string(), "(32x32x3)");
+}
+
+TEST(Builder, Conv2dShapesAndParams) {
+    NetworkBuilder b("t", TensorShape{32, 32, 3});
+    b.conv2d(64, 3, 1);
+    const NetworkModel m = std::move(b).build();
+    const Layer& l = m.layers.front();
+    EXPECT_EQ(l.output, (TensorShape{32, 32, 64}));
+    EXPECT_EQ(l.params, 3 * 3 * 3 * 64);
+    // 2 * Hout*Wout*Cout*Cin*K^2
+    EXPECT_DOUBLE_EQ(l.flops_forward, 2.0 * 32 * 32 * 64 * 3 * 9);
+    EXPECT_DOUBLE_EQ(l.flops_backward, 2.0 * l.flops_forward);
+    EXPECT_EQ(l.kernel_size, 3);
+}
+
+TEST(Builder, Conv2dStrideCeilDivision) {
+    NetworkBuilder b("t", TensorShape{225, 225, 3});
+    b.conv2d(8, 3, 2);
+    EXPECT_EQ(b.current_shape(), (TensorShape{113, 113, 8}));
+}
+
+TEST(Builder, DepthwiseConvParams) {
+    NetworkBuilder b("t", TensorShape{16, 16, 32});
+    b.depthwise_conv2d(3, 1);
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().params, 32 * 9);
+    EXPECT_EQ(m.layers.front().output, (TensorShape{16, 16, 32}));
+}
+
+TEST(Builder, DenseFlattensAndCountsBias) {
+    NetworkBuilder b("t", TensorShape{4, 4, 8});
+    b.dense(10);
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().params, 4 * 4 * 8 * 10 + 10);
+    EXPECT_EQ(m.layers.front().output, TensorShape{10});
+}
+
+TEST(Builder, DenseOnSequenceKeepsLength) {
+    NetworkBuilder b("t", TensorShape{128, 64});
+    b.dense(32);
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().output, (TensorShape{128, 32}));
+    EXPECT_EQ(m.layers.front().params, 64 * 32 + 32);
+}
+
+TEST(Builder, BatchNormParamsAre2C) {
+    NetworkBuilder b("t", TensorShape{8, 8, 16});
+    b.batch_norm();
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().params, 32);
+}
+
+TEST(Builder, PoolingChangesShapeOnly) {
+    NetworkBuilder b("t", TensorShape{32, 32, 16});
+    b.max_pool(3, 2);
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().output, (TensorShape{16, 16, 16}));
+    EXPECT_EQ(m.layers.front().params, 0);
+}
+
+TEST(Builder, GlobalAvgPoolCollapsesSpatialDims) {
+    NetworkBuilder b("t", TensorShape{7, 7, 2048});
+    b.global_avg_pool();
+    EXPECT_EQ(b.current_shape(), TensorShape{2048});
+}
+
+TEST(Builder, EmbeddingShapeAndParams) {
+    NetworkBuilder b("t", TensorShape{128});
+    b.embedding(20000, 64);
+    const NetworkModel m = std::move(b).build();
+    EXPECT_EQ(m.layers.front().params, 20000 * 64);
+    EXPECT_EQ(m.layers.front().output, (TensorShape{128, 64}));
+}
+
+TEST(Builder, EmbeddingRequiresSequenceInput) {
+    NetworkBuilder b("t", TensorShape{8, 8, 3});
+    EXPECT_THROW(b.embedding(100, 8), InvalidArgumentError);
+}
+
+TEST(Builder, ConvRequiresImageInput) {
+    NetworkBuilder b("t", TensorShape{128});
+    EXPECT_THROW(b.conv2d(8, 3, 1), InvalidArgumentError);
+}
+
+TEST(Builder, BranchRewindsShapeCursor) {
+    NetworkBuilder b("t", TensorShape{16, 16, 8});
+    const TensorShape saved = b.mark();
+    b.conv2d(32, 3, 1);
+    b.branch(saved);
+    EXPECT_EQ(b.current_shape(), saved);
+}
+
+TEST(NetworkModel, AggregatesAcrossLayers) {
+    NetworkBuilder b("t", TensorShape{8, 8, 3});
+    b.conv2d(4, 3, 1).batch_norm().activation("relu").dense(10);
+    const NetworkModel m = std::move(b).build();
+    std::int64_t params = 0;
+    double fwd = 0.0;
+    for (const auto& l : m.layers) {
+        params += l.params;
+        fwd += l.flops_forward;
+    }
+    EXPECT_EQ(m.total_params(), params);
+    EXPECT_DOUBLE_EQ(m.flops_forward(), fwd);
+    EXPECT_DOUBLE_EQ(m.gradient_bytes(), 4.0 * params);
+}
+
+TEST(NetworkModel, BalancedStageBoundsCoverAllLayers) {
+    const NetworkModel m = resnet50(TensorShape{32, 32, 3}, 10);
+    for (const int stages : {2, 4, 8}) {
+        const auto bounds = m.balanced_stage_bounds(stages);
+        ASSERT_EQ(bounds.size(), static_cast<std::size_t>(stages));
+        EXPECT_EQ(bounds.back(), m.layers.size());
+        for (std::size_t i = 1; i < bounds.size(); ++i) {
+            EXPECT_GT(bounds[i], bounds[i - 1]);
+        }
+    }
+}
+
+TEST(NetworkModel, BalancedStagesRoughlyEqualFlops) {
+    const NetworkModel m = resnet50(TensorShape{224, 224, 3}, 1000);
+    const auto bounds = m.balanced_stage_bounds(4);
+    const double total = m.flops_forward();
+    std::size_t begin = 0;
+    for (const auto end : bounds) {
+        double stage = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+            stage += m.layers[i].flops_forward;
+        }
+        EXPECT_GT(stage, total * 0.10);
+        EXPECT_LT(stage, total * 0.45);
+        begin = end;
+    }
+}
+
+TEST(NetworkModel, StageBoundsValidation) {
+    const NetworkModel m = nnlm(64, 1000, 2);
+    EXPECT_THROW(m.balanced_stage_bounds(0), InvalidArgumentError);
+    EXPECT_THROW(m.balanced_stage_bounds(1000), InvalidArgumentError);
+}
+
+TEST(Zoo, ResNet50ParameterCount) {
+    // Canonical torchvision ResNet-50: 25,557,032 parameters.
+    const NetworkModel m = resnet50(TensorShape{224, 224, 3}, 1000);
+    EXPECT_NEAR(static_cast<double>(m.total_params()), 25557032.0,
+                25557032.0 * 0.01);
+}
+
+TEST(Zoo, ResNet50FlopsAt224) {
+    // Canonical forward cost: ~4.1 GMACs per 224x224 image; this library
+    // counts 2 FLOPs per multiply-add, so ~8.2 GFLOPs.
+    const NetworkModel m = resnet50(TensorShape{224, 224, 3}, 1000);
+    EXPECT_GT(m.flops_forward(), 7.0e9);
+    EXPECT_LT(m.flops_forward(), 9.5e9);
+}
+
+TEST(Zoo, ResNet50ParamsIndependentOfInputSize) {
+    const auto small = resnet50(TensorShape{32, 32, 3}, 10);
+    const auto large = resnet50(TensorShape{224, 224, 3}, 10);
+    EXPECT_EQ(small.total_params(), large.total_params());
+}
+
+TEST(Zoo, EfficientNetB0ParameterCount) {
+    // Canonical EfficientNet-B0: ~5.29 M parameters.
+    const NetworkModel m = efficientnet_b0(TensorShape{224, 224, 3}, 1000);
+    EXPECT_NEAR(static_cast<double>(m.total_params()), 5288548.0,
+                5288548.0 * 0.05);
+}
+
+TEST(Zoo, EfficientNetSmallerButDeeperThanResNet) {
+    const auto eff = efficientnet_b0(TensorShape{224, 224, 3}, 1000);
+    const auto res = resnet50(TensorShape{224, 224, 3}, 1000);
+    EXPECT_LT(eff.total_params(), res.total_params() / 3);
+    EXPECT_LT(eff.flops_forward(), res.flops_forward());
+}
+
+TEST(Zoo, Cnn10HasTenHiddenLayers) {
+    const NetworkModel m = cnn10(TensorShape{64, 64, 1}, 35);
+    int convs = 0;
+    int denses = 0;
+    for (const auto& l : m.layers) {
+        if (l.kind == LayerKind::Conv2d) ++convs;
+        if (l.kind == LayerKind::Dense) ++denses;
+    }
+    EXPECT_EQ(convs, 8);
+    EXPECT_EQ(denses, 3);  // 2 hidden + 1 output
+}
+
+TEST(Zoo, NnlmDominatedByEmbedding) {
+    const NetworkModel m = nnlm(128, 20000, 2);
+    std::int64_t embed_params = 0;
+    for (const auto& l : m.layers) {
+        if (l.kind == LayerKind::Embedding) embed_params += l.params;
+    }
+    EXPECT_GT(embed_params, m.total_params() * 9 / 10);
+}
+
+TEST(Zoo, OutputLayerMatchesClassCount) {
+    for (const auto& name : benchmark_names()) {
+        const BenchmarkApp app = make_benchmark(name);
+        const Layer* fc = nullptr;
+        for (const auto& l : app.network.layers) {
+            if (l.kind == LayerKind::Dense) fc = &l;
+        }
+        ASSERT_NE(fc, nullptr) << name;
+        EXPECT_EQ(fc->output.dims.back(), app.dataset.num_classes) << name;
+    }
+}
+
+TEST(Datasets, PresetSampleCounts) {
+    EXPECT_EQ(DatasetSpec::cifar10().train_samples, 50000);
+    EXPECT_EQ(DatasetSpec::cifar10().val_samples, 10000);
+    EXPECT_EQ(DatasetSpec::cifar10().num_classes, 10);
+    EXPECT_EQ(DatasetSpec::cifar100().num_classes, 100);
+    EXPECT_EQ(DatasetSpec::imagenet().train_samples, 1281167);
+    EXPECT_EQ(DatasetSpec::imagenet().num_classes, 1000);
+    EXPECT_EQ(DatasetSpec::imdb().train_samples + DatasetSpec::imdb().val_samples,
+              50000);  // paper: "only 50 000 samples"
+    EXPECT_GT(DatasetSpec::speech_commands().train_samples, 80000);
+}
+
+TEST(Datasets, AllReturnsFiveInPaperOrder) {
+    const auto all = DatasetSpec::all();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "CIFAR-10");
+    EXPECT_EQ(all[4].name, "Speech Commands");
+}
+
+TEST(Datasets, BenchmarkMappingMatchesPaper) {
+    // Sec. 4.1: CNN-10 (Speech Commands), NNLM (IMDB), ResNet-50
+    // (CIFAR-10/100), EfficientNet-B0 (ImageNet).
+    EXPECT_EQ(make_benchmark("CIFAR-10").network.name, "ResNet-50");
+    EXPECT_EQ(make_benchmark("CIFAR-100").network.name, "ResNet-50");
+    EXPECT_EQ(make_benchmark("ImageNet").network.name, "EfficientNet-B0");
+    EXPECT_EQ(make_benchmark("IMDB").network.name, "NNLM");
+    EXPECT_EQ(make_benchmark("Speech Commands").network.name, "CNN-10");
+}
+
+TEST(Datasets, UnknownBenchmarkThrows) {
+    EXPECT_THROW(make_benchmark("MNIST"), InvalidArgumentError);
+}
+
+TEST(Datasets, NetworkInputMatchesSampleShape) {
+    for (const auto& name : benchmark_names()) {
+        const BenchmarkApp app = make_benchmark(name);
+        EXPECT_EQ(app.network.input, app.dataset.sample_shape) << name;
+    }
+}

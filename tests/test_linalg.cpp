@@ -1,0 +1,234 @@
+#include "common/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+using namespace extradeep::linalg;
+using extradeep::InvalidArgumentError;
+using extradeep::NumericalError;
+using extradeep::Rng;
+
+TEST(Matrix, ConstructionAndIndexing) {
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, Transpose) {
+    Matrix m(2, 3);
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    m(1, 1) = 5;
+    m(1, 2) = 6;
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, Multiply) {
+    Matrix a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    Matrix b(2, 2);
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    const Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+    Matrix a(2, 3);
+    Matrix b(2, 2);
+    EXPECT_THROW(a * b, InvalidArgumentError);
+}
+
+TEST(SolveSpd, Identity) {
+    Matrix s(2, 2);
+    s(0, 0) = 1.0;
+    s(1, 1) = 1.0;
+    const auto x = solve_spd(s, {3.0, -4.0});
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], -4.0);
+}
+
+TEST(SolveSpd, KnownSystem) {
+    // [[4,1],[1,3]] x = [1, 2]  ->  x = [1/11, 7/11]
+    Matrix s(2, 2);
+    s(0, 0) = 4;
+    s(0, 1) = 1;
+    s(1, 0) = 1;
+    s(1, 1) = 3;
+    const auto x = solve_spd(s, {1.0, 2.0});
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(SolveSpd, ThrowsOnIndefinite) {
+    Matrix s(2, 2);
+    s(0, 0) = 1;
+    s(0, 1) = 2;
+    s(1, 0) = 2;
+    s(1, 1) = 1;  // eigenvalues 3, -1
+    EXPECT_THROW(solve_spd(s, {1.0, 1.0}), NumericalError);
+}
+
+TEST(InvertSpd, InverseTimesOriginalIsIdentity) {
+    Matrix s(3, 3);
+    s(0, 0) = 4;
+    s(0, 1) = 1;
+    s(0, 2) = 0.5;
+    s(1, 0) = 1;
+    s(1, 1) = 3;
+    s(1, 2) = 0.2;
+    s(2, 0) = 0.5;
+    s(2, 1) = 0.2;
+    s(2, 2) = 2;
+    const Matrix inv = invert_spd(s);
+    const Matrix prod = s * inv;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-10);
+        }
+    }
+}
+
+TEST(LeastSquares, ExactLineRecovery) {
+    // y = 2 + 3x on 4 points: exact solution, zero residual.
+    Matrix a(4, 2);
+    std::vector<double> b(4);
+    for (int i = 0; i < 4; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = i;
+        b[i] = 2.0 + 3.0 * i;
+    }
+    const auto r = least_squares(a, b);
+    ASSERT_FALSE(r.rank_deficient);
+    EXPECT_NEAR(r.coefficients[0], 2.0, 1e-10);
+    EXPECT_NEAR(r.coefficients[1], 3.0, 1e-10);
+    EXPECT_NEAR(r.residual_norm, 0.0, 1e-9);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+    // Points (0,0), (1,1), (2,1): LS line is y = 1/6 + x/2.
+    Matrix a(3, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 0;
+    a(1, 0) = 1;
+    a(1, 1) = 1;
+    a(2, 0) = 1;
+    a(2, 1) = 2;
+    const auto r = least_squares(a, {0.0, 1.0, 1.0});
+    EXPECT_NEAR(r.coefficients[0], 1.0 / 6.0, 1e-10);
+    EXPECT_NEAR(r.coefficients[1], 0.5, 1e-10);
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+    // Normal-equation property: A^T (A beta - b) == 0.
+    Rng rng(7);
+    Matrix a(8, 3);
+    std::vector<double> b(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            a(i, j) = rng.uniform(-2.0, 2.0);
+        }
+        b[i] = rng.uniform(-5.0, 5.0);
+    }
+    const auto r = least_squares(a, b);
+    ASSERT_FALSE(r.rank_deficient);
+    for (std::size_t j = 0; j < 3; ++j) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < 8; ++i) {
+            double pred = 0.0;
+            for (std::size_t c = 0; c < 3; ++c) {
+                pred += a(i, c) * r.coefficients[c];
+            }
+            dot += a(i, j) * (pred - b[i]);
+        }
+        EXPECT_NEAR(dot, 0.0, 1e-9);
+    }
+}
+
+TEST(LeastSquares, FlagsRankDeficiency) {
+    // Duplicate columns.
+    Matrix a(4, 2);
+    for (int i = 0; i < 4; ++i) {
+        a(i, 0) = i + 1.0;
+        a(i, 1) = 2.0 * (i + 1.0);
+    }
+    const auto r = least_squares(a, {1.0, 2.0, 3.0, 4.0});
+    EXPECT_TRUE(r.rank_deficient);
+}
+
+TEST(LeastSquares, ThrowsOnUnderdetermined) {
+    Matrix a(2, 3);
+    EXPECT_THROW(least_squares(a, {1.0, 2.0}), InvalidArgumentError);
+}
+
+TEST(LeastSquares, CovarianceMatchesNormalEquations) {
+    Matrix a(5, 2);
+    std::vector<double> b(5);
+    for (int i = 0; i < 5; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = i + 1.0;
+        b[i] = 3.0 * (i + 1.0) + (i % 2 ? 0.1 : -0.1);
+    }
+    const auto r = least_squares(a, b);
+    ASSERT_FALSE(r.rank_deficient);
+    // (A^T A) * cov == I
+    const Matrix ata = a.transposed() * a;
+    const Matrix prod = ata * r.covariance_unscaled;
+    for (std::size_t i = 0; i < 2; ++i) {
+        for (std::size_t j = 0; j < 2; ++j) {
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+// Property sweep: random well-conditioned systems are solved to high
+// accuracy.
+class LeastSquaresRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeastSquaresRandomTest, RecoversPlantedCoefficients) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const std::size_t n = 10;
+    const std::size_t k = 3;
+    Matrix a(n, k);
+    std::vector<double> truth = {rng.uniform(-3, 3), rng.uniform(-3, 3),
+                                 rng.uniform(-3, 3)};
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = rng.uniform(0.5, 4.0);
+        a(i, 2) = a(i, 1) * a(i, 1) + rng.uniform(0.0, 1.0);
+        for (std::size_t c = 0; c < k; ++c) {
+            b[i] += a(i, c) * truth[c];
+        }
+    }
+    const auto r = least_squares(a, b);
+    ASSERT_FALSE(r.rank_deficient);
+    for (std::size_t c = 0; c < k; ++c) {
+        EXPECT_NEAR(r.coefficients[c], truth[c], 1e-7);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeastSquaresRandomTest,
+                         ::testing::Range(1, 11));

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "modeling/fitter.hpp"
+#include "modeling/model.hpp"
+#include "modeling/search_space.hpp"
+
+using namespace extradeep::modeling;
+using extradeep::InvalidArgumentError;
+using extradeep::Rng;
+
+namespace {
+
+const std::vector<double> kXs = {2, 4, 8, 16, 32, 64};
+
+std::vector<double> map_values(const std::vector<double>& xs,
+                          double (*f)(double)) {
+    std::vector<double> ys;
+    for (const double x : xs) ys.push_back(f(x));
+    return ys;
+}
+
+}  // namespace
+
+TEST(Factor, Evaluate) {
+    Factor f{0, 2.0, 1};
+    EXPECT_DOUBLE_EQ(f.evaluate(4.0), 16.0 * 2.0);  // 4^2 * log2(4)
+    Factor constant{0, 0.0, 0};
+    EXPECT_DOUBLE_EQ(constant.evaluate(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(constant.evaluate(-1.0), 1.0);  // never touches the value
+    EXPECT_THROW(f.evaluate(0.0), InvalidArgumentError);
+}
+
+TEST(Factor, FractionalExponent) {
+    Factor f{0, 2.0 / 3.0, 0};
+    EXPECT_NEAR(f.evaluate(8.0), 4.0, 1e-12);
+}
+
+TEST(Factor, ToStringRendering) {
+    EXPECT_EQ((Factor{0, 1.0, 0}).to_string("x1"), "x1");
+    EXPECT_EQ((Factor{0, 2.0, 0}).to_string("x1"), "x1^2");
+    EXPECT_EQ((Factor{0, 0.0, 1}).to_string("x1"), "log2(x1)");
+    EXPECT_EQ((Factor{0, 2.0 / 3.0, 2}).to_string("x1"),
+              "x1^(2/3) * log2(x1)^2");
+    EXPECT_EQ((Factor{0, 0.0, 0}).to_string("x1"), "1");
+}
+
+TEST(Term, EvaluateProductOfFactors) {
+    Term t;
+    t.coefficient = 1.5;
+    t.factors = {Factor{0, 1.0, 0}, Factor{1, 0.0, 1}};
+    const std::vector<double> point = {4.0, 8.0};
+    EXPECT_DOUBLE_EQ(t.evaluate(point), 1.5 * 4.0 * 3.0);
+    EXPECT_THROW(
+        t.evaluate(std::vector<double>{4.0}),  // missing parameter 1
+        InvalidArgumentError);
+}
+
+TEST(Model, EvaluateAndToString) {
+    Term t;
+    t.coefficient = 0.58;
+    t.factors = {Factor{0, 2.0 / 3.0, 2}};
+    PerformanceModel m(158.58, {t}, {"x1"});
+    // The paper's case-study model: T(40) ~ 352 s.
+    EXPECT_NEAR(m.evaluate(40.0), 352.0, 2.0);
+    EXPECT_EQ(m.to_string(), "158.6 + 0.58 * x1^(2/3) * log2(x1)^2");
+}
+
+TEST(Model, GrowthComparison) {
+    Term linear;
+    linear.coefficient = 1.0;
+    linear.factors = {Factor{0, 1.0, 0}};
+    Term quad;
+    quad.coefficient = 0.001;
+    quad.factors = {Factor{0, 2.0, 0}};
+    Term logt;
+    logt.coefficient = 100.0;
+    logt.factors = {Factor{0, 0.0, 1}};
+    PerformanceModel ml(0, {linear}, {"x1"});
+    PerformanceModel mq(0, {quad}, {"x1"});
+    PerformanceModel mlog(0, {logt}, {"x1"});
+    EXPECT_LT(ml.compare_growth(mq), 0);
+    EXPECT_GT(mq.compare_growth(mlog), 0);
+    EXPECT_EQ(ml.compare_growth(ml), 0);
+    EXPECT_EQ(mq.growth_to_string(), "O(x1^2)");
+    EXPECT_EQ(mlog.growth_to_string(), "O(log2(x1))");
+}
+
+TEST(Model, NegativeCoefficientTermsDoNotDriveGrowth) {
+    Term shrink;
+    shrink.coefficient = -2.0;
+    shrink.factors = {Factor{0, 3.0, 0}};
+    PerformanceModel m(10.0, {shrink}, {"x1"});
+    EXPECT_EQ(m.dominant_growth(), (std::pair<double, int>{0.0, 0}));
+    EXPECT_EQ(m.growth_to_string(), "O(1)");
+}
+
+TEST(SearchSpace, DefaultExponentsSaneAndSorted) {
+    const auto exps = SearchSpace::default_poly_exponents();
+    EXPECT_EQ(exps.front(), 0.0);
+    EXPECT_EQ(exps.back(), 3.0);
+    for (std::size_t i = 1; i < exps.size(); ++i) {
+        EXPECT_LT(exps[i - 1], exps[i]);
+    }
+}
+
+TEST(SearchSpace, SingleParameterHypothesisCount) {
+    SearchSpace space;
+    space.max_terms = 1;
+    const auto h = space.single_parameter_hypotheses(0);
+    // constant + (|I| * |J| - 1) one-term hypotheses
+    const std::size_t factors =
+        space.poly_exponents.size() * space.log_exponents.size() - 1;
+    EXPECT_EQ(h.size(), 1 + factors);
+    space.max_terms = 2;
+    const auto h2 = space.single_parameter_hypotheses(0);
+    EXPECT_EQ(h2.size(), 1 + factors + factors * (factors - 1) / 2);
+}
+
+// --- Recovery sweeps: fit exact PMNF functions and verify the selected
+// model reproduces them (the core Extra-P property). ---
+
+struct RecoveryCase {
+    double poly;
+    int log;
+};
+
+class RecoveryTest : public ::testing::TestWithParam<RecoveryCase> {};
+
+TEST_P(RecoveryTest, RecoversPlantedSingleTermModel) {
+    const auto [poly, log] = GetParam();
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back(10.0 + 2.5 * std::pow(x, poly) *
+                                std::pow(std::log2(x), log));
+    }
+    const ModelGenerator gen;
+    const PerformanceModel m = gen.fit(kXs, ys);
+    // Perfect recovery on the sampled range and beyond.
+    for (const double x : {3.0, 24.0, 128.0, 256.0}) {
+        const double truth =
+            10.0 + 2.5 * std::pow(x, poly) * std::pow(std::log2(x), log);
+        EXPECT_NEAR(m.evaluate(x), truth, 0.02 * truth)
+            << "poly=" << poly << " log=" << log << " x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentGrid, RecoveryTest,
+    ::testing::Values(RecoveryCase{0.0, 1}, RecoveryCase{0.0, 2},
+                      RecoveryCase{0.5, 0}, RecoveryCase{0.5, 1},
+                      RecoveryCase{1.0, 0}, RecoveryCase{1.0, 1},
+                      RecoveryCase{2.0 / 3.0, 2}, RecoveryCase{1.5, 0},
+                      RecoveryCase{2.0, 0}, RecoveryCase{2.0, 1},
+                      RecoveryCase{3.0, 0}, RecoveryCase{1.0 / 3.0, 1}));
+
+TEST(Fitter, ConstantDataYieldsConstantModel) {
+    const std::vector<double> ys(kXs.size(), 7.5);
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    EXPECT_TRUE(m.terms().empty());
+    EXPECT_NEAR(m.constant(), 7.5, 1e-9);
+    EXPECT_NEAR(m.evaluate(1000.0), 7.5, 1e-9);
+}
+
+TEST(Fitter, NearConstantNoisyDataStaysBounded) {
+    // Noise around a constant must not produce an exploding polynomial.
+    Rng rng(3);
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < kXs.size(); ++i) {
+        ys.push_back(100.0 * rng.lognormal_factor(0.02));
+    }
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    EXPECT_LT(std::abs(m.evaluate(256.0)), 300.0);
+    EXPECT_GT(m.evaluate(256.0), 30.0);
+}
+
+TEST(Fitter, NoiseRobustRecovery) {
+    // 3 % multiplicative noise on a linear trend: the model must stay within
+    // a few percent of the truth at 4x extrapolation.
+    Rng rng(11);
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back((5.0 + 2.0 * x) * rng.lognormal_factor(0.03));
+    }
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    const double truth = 5.0 + 2.0 * 256.0;
+    EXPECT_NEAR(m.evaluate(256.0), truth, 0.15 * truth);
+}
+
+TEST(Fitter, QualityMetricsPopulated) {
+    const auto ys = map_values(kXs, [](double x) { return 3.0 * x + 1.0; });
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    EXPECT_LT(m.quality().fit_smape, 0.01);
+    EXPECT_GT(m.quality().r_squared, 0.9999);
+    EXPECT_GT(m.quality().hypotheses_searched, 30);
+}
+
+TEST(Fitter, RequiresMinimumPoints) {
+    // Paper Sec. 2.3: at least five measurement points per parameter.
+    const std::vector<double> xs = {2, 4, 8, 16};
+    const std::vector<double> ys = {1, 2, 3, 4};
+    EXPECT_THROW(ModelGenerator().fit(xs, ys), InvalidArgumentError);
+}
+
+TEST(Fitter, RejectsInconsistentInput) {
+    EXPECT_THROW(ModelGenerator().fit(std::vector<double>{1, 2, 3, 4, 5},
+                                      std::vector<double>{1, 2}),
+                 InvalidArgumentError);
+    const std::vector<std::vector<double>> pts = {
+        {1.0}, {2.0}, {3.0, 4.0}, {4.0}, {5.0}};
+    EXPECT_THROW(ModelGenerator().fit(pts, {1, 2, 3, 4, 5}),
+                 InvalidArgumentError);
+    EXPECT_THROW(
+        ModelGenerator().fit(kXs, {1.0, 2.0, std::nan(""), 4.0, 5.0, 6.0}),
+        InvalidArgumentError);
+}
+
+TEST(Fitter, PredictionIntervalCoversTruth) {
+    // With noisy data, the 95 % interval at a modeling point should contain
+    // the noise-free truth in the vast majority of trials.
+    int covered = 0;
+    const int trials = 60;
+    for (int trial = 0; trial < trials; ++trial) {
+        Rng rng(1000 + trial);
+        std::vector<double> ys;
+        for (const double x : kXs) {
+            ys.push_back((10.0 + 3.0 * x) * rng.lognormal_factor(0.05));
+        }
+        const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+        const auto pi = m.predict_interval(16.0, 0.95);
+        const double truth = 10.0 + 3.0 * 16.0;
+        if (truth >= pi.lower && truth <= pi.upper) {
+            ++covered;
+        }
+        EXPECT_LT(pi.lower, pi.upper);
+    }
+    EXPECT_GE(covered, trials * 8 / 10);
+}
+
+TEST(Fitter, PredictionIntervalWidensWithExtrapolation) {
+    Rng rng(5);
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back((10.0 + 3.0 * x) * rng.lognormal_factor(0.05));
+    }
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    const auto near = m.predict_interval(16.0);
+    const auto far = m.predict_interval(512.0);
+    EXPECT_GT(far.upper - far.lower, near.upper - near.lower);
+}
+
+TEST(Fitter, MultiParameterAdditiveRecovery) {
+    // f(x, y) = 5 + 2x + 3*log2(y) on a 5x5 grid.
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (const double y : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+            pts.push_back({x, y});
+            ys.push_back(5.0 + 2.0 * x + 3.0 * std::log2(y));
+        }
+    }
+    const PerformanceModel m = ModelGenerator().fit(pts, ys, {"x1", "x2"});
+    const std::vector<double> probe = {64.0, 64.0};
+    const double truth = 5.0 + 2.0 * 64.0 + 3.0 * 6.0;
+    EXPECT_NEAR(m.evaluate(probe), truth, 0.05 * truth);
+}
+
+TEST(Fitter, MultiParameterMultiplicativeRecovery) {
+    // f(x, y) = 1 + 0.5 * x * log2(y).
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (const double y : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+            pts.push_back({x, y});
+            ys.push_back(1.0 + 0.5 * x * std::log2(y));
+        }
+    }
+    const PerformanceModel m = ModelGenerator().fit(pts, ys, {"x1", "x2"});
+    const std::vector<double> probe = {64.0, 16.0};
+    EXPECT_NEAR(m.evaluate(probe), 1.0 + 0.5 * 64.0 * 4.0, 8.0);
+}
+
+TEST(Fitter, TwoTermSearchRecoversTwoTermFunction) {
+    // With max_terms = 2 and clean data, f = 4 + x + 0.1 x^2 is recovered.
+    FitOptions opts;
+    opts.space.max_terms = 2;
+    const std::vector<double> xs = {2, 4, 8, 12, 16, 24, 32, 48};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back(4.0 + x + 0.1 * x * x);
+    }
+    const PerformanceModel m = ModelGenerator(opts).fit(xs, ys);
+    const double truth = 4.0 + 96.0 + 0.1 * 96.0 * 96.0;
+    EXPECT_NEAR(m.evaluate(96.0), truth, 0.05 * truth);
+}
+
+TEST(Fitter, ParamNamesAutofilled) {
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        pts.push_back({x, x});
+        ys.push_back(x);
+    }
+    const PerformanceModel m = ModelGenerator().fit(pts, ys, {});
+    ASSERT_EQ(m.param_names().size(), 2u);
+    EXPECT_EQ(m.param_names()[0], "x1");
+    EXPECT_EQ(m.param_names()[1], "x2");
+}
+
+TEST(Fitter, DecreasingDataGetsNegativeTerm) {
+    // Strong-scaling runtimes decrease; the model must follow.
+    const auto ys = map_values(kXs, [](double x) { return 100.0 / x + 5.0; });
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    EXPECT_LT(m.evaluate(64.0), m.evaluate(2.0));
+}
+
+TEST(Fitter, NegativeExponentsRecoverStrongScalingShape) {
+    // f(x) = 5 + 100/x: only representable with negative exponents.
+    FitOptions opts;
+    opts.space.include_negative_exponents = true;
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back(5.0 + 100.0 / x);
+    }
+    const PerformanceModel m = ModelGenerator(opts).fit(kXs, ys);
+    for (const double x : {3.0, 128.0, 512.0}) {
+        const double truth = 5.0 + 100.0 / x;
+        EXPECT_NEAR(m.evaluate(x), truth, 0.03 * truth) << x;
+    }
+}
+
+TEST(Fitter, NegativeExponentsOffByDefault) {
+    SearchSpace space;
+    for (const auto& f : space.single_parameter_factors(0)) {
+        EXPECT_GE(f.poly_exp, 0.0);
+    }
+    space.include_negative_exponents = true;
+    bool has_negative = false;
+    for (const auto& f : space.single_parameter_factors(0)) {
+        if (f.poly_exp < 0.0) has_negative = true;
+    }
+    EXPECT_TRUE(has_negative);
+}

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dnn/datasets.hpp"
+#include "dnn/zoo.hpp"
+#include "parallel/comm_plan.hpp"
+#include "parallel/steps.hpp"
+#include "parallel/strategy.hpp"
+
+using namespace extradeep::parallel;
+using namespace extradeep::dnn;
+using extradeep::InvalidArgumentError;
+
+TEST(Strategy, FactoryConfigurations) {
+    const auto d = ParallelConfig::data(8);
+    EXPECT_EQ(d.kind, StrategyKind::Data);
+    EXPECT_EQ(d.shards(), 8);
+    EXPECT_EQ(d.data_parallel_degree(), 8);
+
+    const auto t = ParallelConfig::tensor(16, 4);
+    EXPECT_EQ(t.shards(), 4);
+
+    const auto p = ParallelConfig::pipeline(8, 4, 6);
+    EXPECT_EQ(p.shards(), 2);
+    EXPECT_EQ(p.microbatches, 6);
+}
+
+TEST(Strategy, ValidationRejectsBadConfigs) {
+    EXPECT_THROW(ParallelConfig::data(1), InvalidArgumentError);  // single rank
+    EXPECT_THROW(ParallelConfig::tensor(10, 4), InvalidArgumentError);  // 4∤10
+    ParallelConfig c;
+    c.kind = StrategyKind::Data;
+    c.total_ranks = 8;
+    c.model_parallel_degree = 2;  // data parallel requires M=1
+    EXPECT_THROW(c.validate(), InvalidArgumentError);
+    c.kind = StrategyKind::Tensor;
+    c.model_parallel_degree = 1;  // tensor requires M>=2
+    EXPECT_THROW(c.validate(), InvalidArgumentError);
+}
+
+TEST(Strategy, Names) {
+    EXPECT_EQ(strategy_name(StrategyKind::Data), "data parallelism");
+    EXPECT_EQ(strategy_name(StrategyKind::Tensor), "tensor parallelism");
+    EXPECT_EQ(strategy_name(StrategyKind::Pipeline), "pipeline parallelism");
+    EXPECT_EQ(scaling_name(ScalingMode::Weak), "weak scaling");
+}
+
+TEST(StepMath, WeakScalingKeepsStepsConstant) {
+    // Paper case study: dataset multiplied by ranks, sharded by ranks ->
+    // per-worker steps stay constant (Eq. 2).
+    const DatasetSpec cifar = DatasetSpec::cifar10();
+    for (const int ranks : {2, 8, 32}) {
+        const auto m = compute_steps(cifar, ParallelConfig::data(ranks), 256,
+                                     ScalingMode::Weak);
+        EXPECT_EQ(m.train_steps, 50000 / 256) << ranks;
+        EXPECT_EQ(m.effective_train_samples, 50000 * ranks);
+    }
+}
+
+TEST(StepMath, StrongScalingShrinksSteps) {
+    const DatasetSpec cifar = DatasetSpec::cifar10();
+    const auto m2 = compute_steps(cifar, ParallelConfig::data(2), 256,
+                                  ScalingMode::Strong);
+    const auto m8 = compute_steps(cifar, ParallelConfig::data(8), 256,
+                                  ScalingMode::Strong);
+    EXPECT_EQ(m2.train_steps, (50000 / 2) / 256);
+    EXPECT_EQ(m8.train_steps, (50000 / 8) / 256);
+    EXPECT_GT(m2.train_steps, m8.train_steps);
+}
+
+TEST(StepMath, ModelParallelGroupsShareShards) {
+    // Eq. 2 with G/M shards: 16 ranks with M=4 -> 4 shards.
+    const DatasetSpec cifar = DatasetSpec::cifar10();
+    const auto tensor = compute_steps(cifar, ParallelConfig::tensor(16, 4),
+                                      256, ScalingMode::Strong);
+    const auto data = compute_steps(cifar, ParallelConfig::data(4), 256,
+                                    ScalingMode::Strong);
+    EXPECT_EQ(tensor.train_steps, data.train_steps);
+}
+
+TEST(StepMath, ValidationSteps) {
+    const DatasetSpec cifar = DatasetSpec::cifar10();
+    const auto m = compute_steps(cifar, ParallelConfig::data(2), 256,
+                                 ScalingMode::Weak);
+    EXPECT_EQ(m.val_steps, 10000 / 256);
+}
+
+TEST(StepMath, ThrowsWhenDatasetTooSmall) {
+    const DatasetSpec imdb = DatasetSpec::imdb();  // 25k train samples
+    EXPECT_THROW(compute_steps(imdb, ParallelConfig::data(64), 512,
+                               ScalingMode::Strong),
+                 InvalidArgumentError);
+    EXPECT_THROW(compute_steps(imdb, ParallelConfig::data(2), 0,
+                               ScalingMode::Weak),
+                 InvalidArgumentError);
+}
+
+namespace {
+
+double total_bytes(const std::vector<CommOp>& ops, CommOpKind kind) {
+    double b = 0.0;
+    for (const auto& op : ops) {
+        if (op.kind == kind) {
+            b += op.bytes * op.per_step_count;
+        }
+    }
+    return b;
+}
+
+}  // namespace
+
+TEST(CommPlan, DataParallelExchangesFullGradient) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan =
+        build_comm_plan(net, ParallelConfig::data(8), 256);
+    const double grad = total_bytes(plan.train_ops, CommOpKind::Allreduce);
+    // Full gradient + the tiny metric allreduce.
+    EXPECT_NEAR(grad, net.gradient_bytes(), 64.0);
+    EXPECT_DOUBLE_EQ(plan.pipeline_bubble_fraction, 0.0);
+}
+
+TEST(CommPlan, DataParallelBucketsAre64MiB) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);  // ~94 MiB
+    const CommPlan plan = build_comm_plan(net, ParallelConfig::data(4), 256);
+    int buckets = 0;
+    for (const auto& op : plan.train_ops) {
+        if (op.kind == CommOpKind::Allreduce && op.bytes > 4096) {
+            ++buckets;
+            EXPECT_LE(op.bytes, kGradientBucketBytes + 1.0);
+        }
+    }
+    EXPECT_EQ(buckets, 2);  // 94 MiB -> two fusion buckets
+}
+
+TEST(CommPlan, ValidationHasNoGradientExchange) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan = build_comm_plan(net, ParallelConfig::data(8), 256);
+    EXPECT_LT(total_bytes(plan.val_ops, CommOpKind::Allreduce), 100.0);
+}
+
+TEST(CommPlan, StartupBroadcastsWeights) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan = build_comm_plan(net, ParallelConfig::data(8), 256);
+    ASSERT_EQ(plan.startup_ops.size(), 1u);
+    EXPECT_EQ(plan.startup_ops.front().kind, CommOpKind::Broadcast);
+    EXPECT_DOUBLE_EQ(plan.startup_ops.front().bytes, net.gradient_bytes());
+}
+
+TEST(CommPlan, TensorParallelHasIntraGroupActivationTraffic) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan = build_comm_plan(net, ParallelConfig::tensor(16, 4),
+                                          256);
+    const double ag = total_bytes(plan.train_ops, CommOpKind::Allgather);
+    EXPECT_GT(ag, 0.0);
+    // Validation keeps the forward allgathers.
+    EXPECT_GT(total_bytes(plan.val_ops, CommOpKind::Allgather), 0.0);
+    // The gradient allreduce is sharded: bytes/M across shards.
+    double grad = 0.0;
+    for (const auto& op : plan.train_ops) {
+        if (op.kind == CommOpKind::Allreduce && !op.intra_group &&
+            op.bytes > 4096) {
+            grad += op.bytes;
+            EXPECT_EQ(op.participants, 4);  // shards
+        }
+    }
+    EXPECT_NEAR(grad, net.gradient_bytes() / 4.0, 1.0);
+}
+
+TEST(CommPlan, TensorParallelScalesActivationsWithBatch) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan p128 = build_comm_plan(net, ParallelConfig::tensor(16, 4), 128);
+    const CommPlan p256 = build_comm_plan(net, ParallelConfig::tensor(16, 4), 256);
+    EXPECT_NEAR(total_bytes(p256.train_ops, CommOpKind::Allgather),
+                2.0 * total_bytes(p128.train_ops, CommOpKind::Allgather),
+                1.0);
+}
+
+TEST(CommPlan, PipelineBubbleFraction) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan =
+        build_comm_plan(net, ParallelConfig::pipeline(8, 4, 4), 256);
+    // (M-1)/(microbatches + M - 1) = 3/7.
+    EXPECT_NEAR(plan.pipeline_bubble_fraction, 3.0 / 7.0, 1e-12);
+}
+
+TEST(CommPlan, MoreMicrobatchesShrinkBubble) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan few =
+        build_comm_plan(net, ParallelConfig::pipeline(8, 4, 2), 256);
+    const CommPlan many =
+        build_comm_plan(net, ParallelConfig::pipeline(8, 4, 16), 256);
+    EXPECT_GT(few.pipeline_bubble_fraction, many.pipeline_bubble_fraction);
+}
+
+TEST(CommPlan, PipelineSendsPerMicrobatch) {
+    const NetworkModel net = resnet50(TensorShape{32, 32, 3}, 10);
+    const CommPlan plan =
+        build_comm_plan(net, ParallelConfig::pipeline(8, 4, 4), 256);
+    int sends = 0;
+    for (const auto& op : plan.train_ops) {
+        if (op.kind == CommOpKind::SendRecv) {
+            EXPECT_EQ(op.per_step_count, 4);  // one per microbatch
+            ++sends;
+        }
+    }
+    EXPECT_EQ(sends, 2);  // forward activations + backward gradients
+}
+
+TEST(CommPlan, RejectsBadBatch) {
+    const NetworkModel net = nnlm(64, 1000, 2);
+    EXPECT_THROW(build_comm_plan(net, ParallelConfig::data(4), 0),
+                 InvalidArgumentError);
+}

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "profiling/edp_io.hpp"
+#include "profiling/profiler.hpp"
+#include "profiling/sampling.hpp"
+
+using namespace extradeep;
+using namespace extradeep::profiling;
+
+namespace {
+
+sim::Workload small_workload(int ranks = 2) {
+    return sim::Workload::make("CIFAR-10", hw::SystemSpec::deep(),
+                               parallel::ParallelConfig::data(ranks),
+                               parallel::ScalingMode::Weak, 256);
+}
+
+}  // namespace
+
+TEST(Sampling, EfficientDefaultsMatchPaper) {
+    const SamplingStrategy s = SamplingStrategy::efficient();
+    EXPECT_EQ(s.epochs, 2);
+    EXPECT_EQ(s.train_steps_per_epoch, 5);
+    EXPECT_EQ(s.discard_warmup_epochs, 1);
+    EXPECT_NE(s.describe().find("efficient"), std::string::npos);
+}
+
+TEST(Sampling, StandardProfilesFullEpochs) {
+    const SamplingStrategy s = SamplingStrategy::standard();
+    EXPECT_EQ(s.train_steps_per_epoch, -1);
+    EXPECT_EQ(s.val_steps_per_epoch, -1);
+}
+
+TEST(Sampling, TraceOptionsCarrySeed) {
+    const auto o = SamplingStrategy::efficient().trace_options(77);
+    EXPECT_EQ(o.run_seed, 77u);
+    EXPECT_EQ(o.train_steps_per_epoch, 5);
+}
+
+TEST(Profiler, ProfilesAllRanks) {
+    const sim::TrainingSimulator sim(small_workload(3));
+    const Profiler profiler(SamplingStrategy::efficient());
+    const ProfiledRun run = profiler.profile(sim, {{"x1", 3.0}}, 0);
+    ASSERT_EQ(run.ranks.size(), 3u);
+    for (int r = 0; r < 3; ++r) {
+        EXPECT_EQ(run.ranks[r].rank, r);
+        EXPECT_FALSE(run.ranks[r].events.empty());
+    }
+    EXPECT_GT(run.profiling_wall_time, 0.0);
+    EXPECT_EQ(run.params.at("x1"), 3.0);
+}
+
+TEST(Profiler, RepetitionsDiffer) {
+    const sim::TrainingSimulator sim(small_workload());
+    const Profiler profiler(SamplingStrategy::efficient());
+    const ProfiledRun a = profiler.profile(sim, {{"x1", 2.0}}, 0);
+    const ProfiledRun b = profiler.profile(sim, {{"x1", 2.0}}, 1);
+    EXPECT_NE(a.profiling_wall_time, b.profiling_wall_time);
+}
+
+TEST(Profiler, EfficientMuchCheaperThanStandard) {
+    // The headline Fig. 8 property: ~95 % profiling-time reduction.
+    const sim::TrainingSimulator sim(small_workload());
+    const double efficient =
+        Profiler(SamplingStrategy::efficient()).profiling_cost(sim);
+    const double standard =
+        Profiler(SamplingStrategy::standard()).profiling_cost(sim);
+    EXPECT_LT(efficient, 0.15 * standard);
+}
+
+TEST(Profiler, OverheadFractionApplied) {
+    const sim::TrainingSimulator sim(small_workload());
+    const double with = Profiler(SamplingStrategy::efficient(), 0.10)
+                            .profiling_cost(sim);
+    const double without = Profiler(SamplingStrategy::efficient(), 0.0)
+                               .profiling_cost(sim);
+    EXPECT_NEAR(with / without, 1.10, 1e-9);
+    EXPECT_THROW(Profiler(SamplingStrategy::efficient(), -0.1),
+                 InvalidArgumentError);
+}
+
+TEST(RunSeed, DependsOnAllComponents) {
+    const std::map<std::string, double> p1 = {{"x1", 4.0}};
+    const std::map<std::string, double> p2 = {{"x1", 8.0}};
+    EXPECT_NE(run_seed_for(p1, 0, 0), run_seed_for(p2, 0, 0));
+    EXPECT_NE(run_seed_for(p1, 0, 0), run_seed_for(p1, 1, 0));
+    EXPECT_NE(run_seed_for(p1, 0, 0), run_seed_for(p1, 0, 1));
+    EXPECT_EQ(run_seed_for(p1, 3, 9), run_seed_for(p1, 3, 9));
+}
+
+TEST(EdpIo, RoundTripPreservesEverything) {
+    const sim::TrainingSimulator sim(small_workload());
+    const Profiler profiler(SamplingStrategy::efficient());
+    const ProfiledRun run = profiler.profile(sim, {{"x1", 2.0}}, 1);
+
+    std::stringstream buffer;
+    write_edp(buffer, run);
+    const ProfiledRun back = read_edp(buffer);
+
+    EXPECT_EQ(back.params, run.params);
+    EXPECT_EQ(back.repetition, run.repetition);
+    EXPECT_NEAR(back.profiling_wall_time, run.profiling_wall_time, 1e-9);
+    ASSERT_EQ(back.ranks.size(), run.ranks.size());
+    for (std::size_t r = 0; r < run.ranks.size(); ++r) {
+        ASSERT_EQ(back.ranks[r].events.size(), run.ranks[r].events.size());
+        ASSERT_EQ(back.ranks[r].marks.size(), run.ranks[r].marks.size());
+        for (std::size_t i = 0; i < run.ranks[r].events.size(); ++i) {
+            const auto& a = run.ranks[r].events[i];
+            const auto& b = back.ranks[r].events[i];
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.category, b.category);
+            EXPECT_EQ(a.visits, b.visits);
+            EXPECT_NEAR(a.start, b.start, 1e-9 * (1.0 + a.start));
+            EXPECT_NEAR(a.duration, b.duration, 1e-12 + 1e-9 * a.duration);
+        }
+    }
+}
+
+TEST(EdpIo, FileRoundTrip) {
+    const sim::TrainingSimulator sim(small_workload());
+    const ProfiledRun run = Profiler(SamplingStrategy::efficient())
+                                .profile(sim, {{"x1", 2.0}}, 0);
+    const std::string path = ::testing::TempDir() + "/run.edp";
+    write_edp_file(path, run);
+    const ProfiledRun back = read_edp_file(path);
+    EXPECT_EQ(back.ranks.size(), run.ranks.size());
+    std::remove(path.c_str());
+}
+
+TEST(EdpIo, RejectsMissingHeader) {
+    std::stringstream s("nonsense\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsWrongVersion) {
+    std::stringstream s("EDP\t99\nEND\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsTruncatedFile) {
+    std::stringstream s("EDP\t1\nRANK\t0\n");  // no END
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsEventBeforeRank) {
+    std::stringstream s(
+        "EDP\t1\nE\tk\tCUDA kernel\t0\t1\t1\t0\nEND\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsMalformedNumbers) {
+    std::stringstream s(
+        "EDP\t1\nRANK\t0\nE\tk\tCUDA kernel\tabc\t1\t1\t0\nEND\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsUnknownCategory) {
+    std::stringstream s(
+        "EDP\t1\nRANK\t0\nE\tk\tWarpDrive\t0\t1\t1\t0\nEND\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsUnknownTag) {
+    std::stringstream s("EDP\t1\nXYZ\t1\nEND\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpIo, RejectsTabInKernelName) {
+    ProfiledRun run;
+    trace::RankTrace t;
+    trace::TraceEvent e;
+    e.name = "bad\tname";
+    t.events.push_back(e);
+    run.ranks.push_back(t);
+    std::stringstream s;
+    EXPECT_THROW(write_edp(s, run), InvalidArgumentError);
+}
+
+TEST(EdpIo, MissingFileThrows) {
+    EXPECT_THROW(read_edp_file("/nonexistent/path/profile.edp"), Error);
+}
+
+TEST(EdpIo, EmptyRunRoundTrips) {
+    ProfiledRun run;
+    run.repetition = 7;
+    std::stringstream s;
+    write_edp(s, run);
+    const ProfiledRun back = read_edp(s);
+    EXPECT_EQ(back.repetition, 7);
+    EXPECT_TRUE(back.ranks.empty());
+}

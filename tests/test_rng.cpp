@@ -1,0 +1,206 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+using extradeep::InvalidArgumentError;
+using extradeep::Rng;
+using extradeep::mix64;
+using extradeep::splitmix64;
+
+TEST(Rng, DeterministicForEqualSeeds) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next_u64() == b.next_u64()) ++equal;
+    }
+    EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+    Rng r(0);
+    // SplitMix64 seeding guarantees a non-degenerate state even for seed 0.
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 16; ++i) {
+        values.insert(r.next_u64());
+    }
+    EXPECT_GE(values.size(), 15u);
+}
+
+TEST(Rng, Uniform01InRange) {
+    Rng r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+    Rng r(4);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        acc += r.uniform01();
+    }
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+    Rng r(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniform_int(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all 7 values hit in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleValue) {
+    Rng r(6);
+    EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntThrowsOnInvertedBounds) {
+    Rng r(7);
+    EXPECT_THROW(r.uniform_int(2, 1), InvalidArgumentError);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng r(8);
+    const int n = 200000;
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        sample.push_back(r.normal(10.0, 2.0));
+    }
+    EXPECT_NEAR(extradeep::stats::mean(sample), 10.0, 0.05);
+    EXPECT_NEAR(extradeep::stats::stddev(sample), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalFactorHasMeanOne) {
+    // The simulator's noise primitive must be mean preserving for any sigma.
+    for (const double sigma : {0.01, 0.05, 0.2, 0.5}) {
+        Rng r(9);
+        double acc = 0.0;
+        const int n = 200000;
+        for (int i = 0; i < n; ++i) {
+            acc += r.lognormal_factor(sigma);
+        }
+        EXPECT_NEAR(acc / n, 1.0, 0.02) << "sigma=" << sigma;
+    }
+}
+
+TEST(Rng, LognormalFactorSigmaZeroIsExactlyOne) {
+    Rng r(10);
+    EXPECT_DOUBLE_EQ(r.lognormal_factor(0.0), 1.0);
+}
+
+TEST(Rng, LognormalFactorThrowsOnNegativeSigma) {
+    Rng r(11);
+    EXPECT_THROW(r.lognormal_factor(-0.1), InvalidArgumentError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng r(12);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(13);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        acc += r.exponential(2.5);
+    }
+    EXPECT_NEAR(acc / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialThrowsOnNonPositiveMean) {
+    Rng r(14);
+    EXPECT_THROW(r.exponential(0.0), InvalidArgumentError);
+}
+
+TEST(Rng, PoissonMeanAndEdgeCases) {
+    Rng r(15);
+    EXPECT_EQ(r.poisson(0.0), 0);
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        acc += static_cast<double>(r.poisson(3.5));
+    }
+    EXPECT_NEAR(acc / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanNormalApprox) {
+    Rng r(16);
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        acc += static_cast<double>(r.poisson(200.0));
+    }
+    EXPECT_NEAR(acc / n, 200.0, 1.0);
+}
+
+TEST(Rng, PoissonThrowsOnNegativeMean) {
+    Rng r(17);
+    EXPECT_THROW(r.poisson(-1.0), InvalidArgumentError);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+    const Rng parent(99);
+    Rng f1 = parent.fork(1);
+    Rng f1_again = parent.fork(1);
+    Rng f2 = parent.fork(2);
+    int equal12 = 0;
+    for (int i = 0; i < 64; ++i) {
+        const auto a = f1.next_u64();
+        EXPECT_EQ(a, f1_again.next_u64());
+        if (a == f2.next_u64()) ++equal12;
+    }
+    EXPECT_LE(equal12, 1);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+    Rng a(123);
+    Rng b(123);
+    (void)a.fork(7);
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Mix64, DistinctInputsDistinctOutputs) {
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        outputs.insert(mix64(i, i * 7 + 1));
+    }
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Splitmix64, AdvancesState) {
+    std::uint64_t s = 5;
+    const auto v1 = splitmix64(s);
+    const auto v2 = splitmix64(s);
+    EXPECT_NE(v1, v2);
+}

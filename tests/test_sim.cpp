@@ -1,0 +1,392 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sim/simulator.hpp"
+
+using namespace extradeep;
+using namespace extradeep::sim;
+using trace::KernelCategory;
+using trace::Phase;
+
+namespace {
+
+Workload cifar_workload(int ranks = 4) {
+    return Workload::make("CIFAR-10", hw::SystemSpec::deep(),
+                          parallel::ParallelConfig::data(ranks),
+                          parallel::ScalingMode::Weak, 256);
+}
+
+TraceOptions sampled_options(std::uint64_t seed = 1) {
+    TraceOptions o;
+    o.epochs = 2;
+    o.train_steps_per_epoch = 5;
+    o.val_steps_per_epoch = 2;
+    o.run_seed = seed;
+    return o;
+}
+
+const KernelDesc* find_kernel(const StepSchedule& s, const std::string& name) {
+    for (const auto& k : s.kernels) {
+        if (k.name == name) return &k;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(Workload, DescribeAndStepMath) {
+    const Workload w = cifar_workload(8);
+    EXPECT_NE(w.describe().find("CIFAR-10"), std::string::npos);
+    EXPECT_EQ(w.step_math().train_steps, 195);
+    EXPECT_FALSE(w.streams_from_disk());
+}
+
+TEST(Workload, ImageNetStreamsFromDisk) {
+    const Workload w =
+        Workload::make("ImageNet", hw::SystemSpec::deep(),
+                       parallel::ParallelConfig::data(4),
+                       parallel::ScalingMode::Weak, 256);
+    EXPECT_TRUE(w.streams_from_disk());
+}
+
+TEST(Schedule, ContainsExpectedKernelPopulation) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    // The Nsight-style population the paper profiles (Sec. 2.1 step 2).
+    for (const char* name :
+         {"EigenMetaKernel", "volta_scudnn_winograd_fprop", "Memcpy HtoD",
+          "Memset", "MPI_Allreduce", "cudaLaunchKernel", "cublasSgemm",
+          "cudnnConvolutionForward", "preprocess_batch", "training_step",
+          "futex_wait", "sgd_momentum_update_kernel"}) {
+        EXPECT_NE(find_kernel(s, name), nullptr) << name;
+    }
+}
+
+TEST(Schedule, DeepUsesMpiNotNccl) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    EXPECT_EQ(find_kernel(s, "ncclAllReduce_RingLL"), nullptr);
+    const KernelDesc* ar = find_kernel(s, "MPI_Allreduce");
+    ASSERT_NE(ar, nullptr);
+    EXPECT_GT(ar->train_time, 0.0);
+}
+
+TEST(Schedule, JurecaUsesNccl) {
+    const Workload w =
+        Workload::make("CIFAR-10", hw::SystemSpec::jureca(),
+                       parallel::ParallelConfig::data(8),
+                       parallel::ScalingMode::Weak, 256);
+    const StepSchedule s = build_step_schedule(w);
+    const KernelDesc* nccl = find_kernel(s, "ncclAllReduce_RingLL");
+    ASSERT_NE(nccl, nullptr);
+    EXPECT_EQ(nccl->category, KernelCategory::Nccl);
+    // Horovod's tiny coordination allreduce still goes through MPI.
+    EXPECT_NE(find_kernel(s, "MPI_Allreduce"), nullptr);
+}
+
+TEST(Schedule, PipelineUsesTorchKernelsAndSendRecv) {
+    const Workload w =
+        Workload::make("CIFAR-10", hw::SystemSpec::deep(),
+                       parallel::ParallelConfig::pipeline(8, 4),
+                       parallel::ScalingMode::Weak, 256);
+    const StepSchedule s = build_step_schedule(w);
+    EXPECT_NE(find_kernel(s, "vectorized_elementwise_kernel"), nullptr);
+    EXPECT_EQ(find_kernel(s, "EigenMetaKernel"), nullptr);
+    EXPECT_NE(find_kernel(s, "MPI_Sendrecv"), nullptr);
+}
+
+TEST(Schedule, ValidationCheaperThanTraining) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    EXPECT_LT(s.val_step_time(), 0.7 * s.train_step_time());
+    EXPECT_GT(s.val_step_time(), 0.0);
+}
+
+TEST(Schedule, CommunicationGrowsWithRanks) {
+    const StepSchedule s4 = build_step_schedule(cifar_workload(4));
+    const StepSchedule s32 = build_step_schedule(cifar_workload(32));
+    EXPECT_GT(s32.train_phase_time(Phase::Communication),
+              s4.train_phase_time(Phase::Communication));
+    // Computation per step is rank independent under weak scaling.
+    EXPECT_NEAR(s32.train_phase_time(Phase::Computation),
+                s4.train_phase_time(Phase::Computation),
+                0.02 * s4.train_phase_time(Phase::Computation));
+}
+
+TEST(Schedule, MemsetMatchesGradientBytes) {
+    const Workload w = cifar_workload();
+    const StepSchedule s = build_step_schedule(w);
+    const KernelDesc* memset = find_kernel(s, "Memset");
+    ASSERT_NE(memset, nullptr);
+    EXPECT_DOUBLE_EQ(memset->train_bytes, w.app.network.gradient_bytes());
+    EXPECT_EQ(memset->val_visits, 0);  // no gradient clear in validation
+}
+
+TEST(Schedule, DtoHCopyIsAsync) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    const KernelDesc* dtoh = find_kernel(s, "Memcpy DtoH");
+    ASSERT_NE(dtoh, nullptr);
+    EXPECT_TRUE(dtoh->async_after_step);
+}
+
+TEST(Schedule, LaunchCountsMatchGpuKernelVisits) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    std::int64_t gpu_visits = 0;
+    for (const auto& k : s.kernels) {
+        if (k.on_gpu) gpu_visits += k.train_visits;
+    }
+    const KernelDesc* launch = find_kernel(s, "cudaLaunchKernel");
+    ASSERT_NE(launch, nullptr);
+    EXPECT_EQ(launch->train_visits, gpu_visits);
+}
+
+TEST(Schedule, InitPhaseHasIoAndBroadcast) {
+    const StepSchedule s = build_step_schedule(cifar_workload());
+    std::set<std::string> names;
+    for (const auto& i : s.init) names.insert(i.name);
+    EXPECT_TRUE(names.count("load_data"));
+    EXPECT_TRUE(names.count("MPI_Bcast"));
+    EXPECT_TRUE(names.count("cudnnCreate"));
+}
+
+TEST(Schedule, StreamingDatasetReadsPerStep) {
+    const Workload w =
+        Workload::make("ImageNet", hw::SystemSpec::deep(),
+                       parallel::ParallelConfig::data(4),
+                       parallel::ScalingMode::Weak, 64);
+    const StepSchedule s = build_step_schedule(w);
+    const KernelDesc* read = find_kernel(s, "read");
+    ASSERT_NE(read, nullptr);
+    EXPECT_GT(read->train_bytes, 0.0);
+}
+
+TEST(Noise, RunFactorsDeterministicPerSeed) {
+    const hw::NoiseSpec spec = hw::SystemSpec::deep().noise;
+    const NoiseModel a(spec, 16, 42);
+    const NoiseModel b(spec, 16, 42);
+    EXPECT_DOUBLE_EQ(a.run_factor(KernelCategory::CudaKernel),
+                     b.run_factor(KernelCategory::CudaKernel));
+    const NoiseModel c(spec, 16, 43);
+    EXPECT_NE(a.run_factor(KernelCategory::CudaKernel),
+              c.run_factor(KernelCategory::CudaKernel));
+}
+
+TEST(Noise, CommunicationNoisierThanCompute) {
+    const hw::NoiseSpec spec = hw::SystemSpec::deep().noise;
+    const NoiseModel n(spec, 64, 1);
+    EXPECT_GT(n.comm_sigma(), n.comp_sigma());
+}
+
+TEST(Noise, RunToRunVariationGrowsWithScale) {
+    // Sample many runs and check the spread of run factors grows with ranks,
+    // reproducing the paper's observation (Sec. 4.3).
+    const hw::NoiseSpec spec = hw::SystemSpec::deep().noise;
+    auto spread = [&](int ranks) {
+        std::vector<double> f;
+        for (std::uint64_t seed = 0; seed < 200; ++seed) {
+            f.push_back(NoiseModel(spec, ranks, seed)
+                            .run_factor(KernelCategory::CudaKernel));
+        }
+        return stats::stddev(f);
+    };
+    EXPECT_LT(spread(2), spread(64));
+}
+
+TEST(Noise, RankFactorsClusterAroundOne) {
+    const NoiseModel n(hw::SystemSpec::deep().noise, 64, 7);
+    std::vector<double> f;
+    for (int r = 0; r < 64; ++r) {
+        f.push_back(n.rank_factor(r));
+    }
+    EXPECT_NEAR(stats::median(f), 1.0, 0.02);
+    EXPECT_LT(stats::stddev(f), 0.05);
+}
+
+TEST(Simulator, TraceIsDeterministic) {
+    const TrainingSimulator sim(cifar_workload());
+    const auto t1 = sim.trace_rank(0, sampled_options(5));
+    const auto t2 = sim.trace_rank(0, sampled_options(5));
+    ASSERT_EQ(t1.events.size(), t2.events.size());
+    for (std::size_t i = 0; i < t1.events.size(); ++i) {
+        EXPECT_DOUBLE_EQ(t1.events[i].duration, t2.events[i].duration);
+        EXPECT_EQ(t1.events[i].name, t2.events[i].name);
+    }
+}
+
+TEST(Simulator, DifferentSeedsGiveDifferentDurations) {
+    const TrainingSimulator sim(cifar_workload());
+    const auto t1 = sim.trace_rank(0, sampled_options(5));
+    const auto t2 = sim.trace_rank(0, sampled_options(6));
+    EXPECT_NE(t1.wall_time(), t2.wall_time());
+}
+
+TEST(Simulator, TraceStructureMatchesOptions) {
+    const TrainingSimulator sim(cifar_workload());
+    const auto t = sim.trace_rank(0, sampled_options());
+    EXPECT_EQ(trace::epoch_count(t), 2);
+    for (int e = 0; e < 2; ++e) {
+        EXPECT_EQ(trace::step_count(t, e, trace::StepKind::Train), 5);
+        EXPECT_EQ(trace::step_count(t, e, trace::StepKind::Validation), 2);
+    }
+}
+
+TEST(Simulator, FirstEpochIsSlower) {
+    // Warm-up effects (cuDNN autotuning, graph tracing) make epoch 0 steps
+    // slower - the reason the sampling strategy discards them.
+    const TrainingSimulator sim(cifar_workload());
+    const auto t = sim.trace_rank(0, sampled_options());
+    const auto windows = trace::segment_steps(t);
+    std::map<int, double> epoch_train_time;
+    for (const auto& w : windows) {
+        if (!w.async_gap && w.kind == trace::StepKind::Train) {
+            for (const auto idx : w.event_indices) {
+                epoch_train_time[w.epoch] += t.events[idx].duration;
+            }
+        }
+    }
+    EXPECT_GT(epoch_train_time[0], 1.2 * epoch_train_time[1]);
+}
+
+TEST(Simulator, WarmupContainsAutotuneKernels) {
+    const TrainingSimulator sim(cifar_workload());
+    const auto t = sim.trace_rank(0, sampled_options());
+    bool found = false;
+    for (const auto& e : t.events) {
+        if (e.name == "cudnnFindConvolutionForwardAlgorithm") found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Simulator, CollapsedAndExpandedTracesAgree) {
+    const TrainingSimulator sim(cifar_workload());
+    TraceOptions collapsed = sampled_options();
+    TraceOptions expanded = sampled_options();
+    expanded.collapse_repeats = false;
+    const auto tc = sim.trace_rank(0, collapsed);
+    const auto te = sim.trace_rank(0, expanded);
+    EXPECT_GT(te.events.size(), tc.events.size());
+    // Total visits and durations must agree between the two representations.
+    auto totals = [](const trace::RankTrace& t) {
+        std::map<std::string, std::pair<std::int64_t, double>> m;
+        for (const auto& e : t.events) {
+            m[e.name].first += e.visits;
+            m[e.name].second += e.duration;
+        }
+        return m;
+    };
+    const auto mc = totals(tc);
+    const auto me = totals(te);
+    ASSERT_EQ(mc.size(), me.size());
+    for (const auto& [name, v] : mc) {
+        ASSERT_TRUE(me.count(name)) << name;
+        EXPECT_EQ(me.at(name).first, v.first) << name;
+        EXPECT_NEAR(me.at(name).second, v.second, 1e-9 * (1.0 + v.second))
+            << name;
+    }
+}
+
+TEST(Simulator, AsyncEventsLandBetweenSteps) {
+    const TrainingSimulator sim(cifar_workload());
+    const auto t = sim.trace_rank(0, sampled_options());
+    const auto windows = trace::segment_steps(t);
+    bool found_async_copy = false;
+    for (const auto& w : windows) {
+        for (const auto idx : w.event_indices) {
+            if (t.events[idx].name == "Memcpy DtoH") {
+                EXPECT_TRUE(w.async_gap);
+                found_async_copy = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_async_copy);
+}
+
+TEST(Simulator, RankOutOfRangeThrows) {
+    const TrainingSimulator sim(cifar_workload(4));
+    EXPECT_THROW(sim.trace_rank(4, sampled_options()), InvalidArgumentError);
+    EXPECT_THROW(sim.measure_epoch(-1, 1), InvalidArgumentError);
+}
+
+TEST(Simulator, MeasureEpochConsistentWithSchedule) {
+    // With noise factors of mean one, the measured epoch should be close to
+    // the deterministic expectation n_t * step + n_v * val.
+    const TrainingSimulator sim(cifar_workload());
+    const auto& s = sim.schedule();
+    const auto& m = sim.step_math();
+    const double expected =
+        m.train_steps * s.train_step_time() + m.val_steps * s.val_step_time();
+    std::vector<double> walls;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        walls.push_back(sim.measure_epoch_wall(seed));
+    }
+    EXPECT_NEAR(stats::median(walls), expected, 0.06 * expected);
+}
+
+TEST(Simulator, EpochMeasurementPhasesSumToWall) {
+    const TrainingSimulator sim(cifar_workload());
+    const EpochMeasurement m = sim.measure_epoch(0, 3);
+    const double phases =
+        m.phase_time[0] + m.phase_time[1] + m.phase_time[2];
+    // Wall additionally includes epoch overhead (and spikes are folded into
+    // the computation phase).
+    EXPECT_NEAR(m.wall_time, phases + sim.schedule().epoch_overhead_s, 1e-9);
+}
+
+TEST(Simulator, TraceAndFastPathAgreeOnStepTime) {
+    // Median per-step kernel totals from the trace should be close to the
+    // fast path's per-step base (both share run factors; warm epoch 1 only).
+    const TrainingSimulator sim(cifar_workload());
+    TraceOptions o = sampled_options(9);
+    const auto t = sim.trace_rank(0, o);
+    const auto windows = trace::segment_steps(t);
+    std::vector<double> step_times;
+    for (const auto& w : windows) {
+        if (w.epoch == 1 && !w.async_gap && w.kind == trace::StepKind::Train) {
+            double sum = 0.0;
+            for (const auto idx : w.event_indices) {
+                sum += t.events[idx].duration;
+            }
+            step_times.push_back(sum);
+        }
+    }
+    ASSERT_EQ(step_times.size(), 5u);
+    const double deterministic = sim.schedule().train_step_time();
+    EXPECT_NEAR(stats::median(step_times), deterministic, 0.25 * deterministic);
+}
+
+TEST(Simulator, RunWallTimeTracksTraceWallTime) {
+    const TrainingSimulator sim(cifar_workload());
+    const TraceOptions o = sampled_options(11);
+    const double predicted = sim.run_wall_time(o);
+    const double actual = sim.trace_rank(0, o).wall_time();
+    EXPECT_NEAR(predicted, actual, 0.25 * actual);
+}
+
+TEST(Simulator, WeakScalingEpochGrowsWithRanks) {
+    // The headline case-study behaviour: under weak scaling the epoch time
+    // rises with the communication overhead.
+    const TrainingSimulator s2(cifar_workload(2));
+    const TrainingSimulator s64(cifar_workload(64));
+    EXPECT_GT(s64.measure_epoch_wall(1), 1.5 * s2.measure_epoch_wall(1));
+}
+
+TEST(Simulator, StrongScalingEpochShrinksWithRanks) {
+    auto strong = [](int ranks) {
+        return Workload::make("CIFAR-10", hw::SystemSpec::deep(),
+                              parallel::ParallelConfig::data(ranks),
+                              parallel::ScalingMode::Strong, 64);
+    };
+    const TrainingSimulator s2(strong(2));
+    const TrainingSimulator s16(strong(16));
+    EXPECT_LT(s16.measure_epoch_wall(1), s2.measure_epoch_wall(1));
+}
+
+TEST(Simulator, TypicalRankMeasurementLessExtremeThanWall) {
+    const TrainingSimulator sim(cifar_workload(32));
+    // Wall includes the slowest rank; the typical (median) rank is faster or
+    // equal in computation terms.
+    const double wall = sim.measure_epoch_wall(5);
+    const EpochMeasurement typical = sim.measure_epoch_typical(5);
+    EXPECT_LE(typical.wall_time, wall * 1.001);
+}

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+
+using extradeep::InvalidArgumentError;
+using extradeep::Table;
+namespace fmt = extradeep::fmt;
+
+TEST(Table, RendersHeaderAndRows) {
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1.5"});
+    t.add_row({"beta", "22.0"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22.0"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumericColumnsRightAligned) {
+    Table t({"k", "v"});
+    t.add_row({"a", "1"});
+    t.add_row({"b", "100"});
+    const std::string s = t.to_string();
+    // "  1" must be padded to the width of "100".
+    EXPECT_NE(s.find("|   1 |"), std::string::npos);
+}
+
+TEST(Table, ThrowsOnWrongCellCount) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), InvalidArgumentError);
+}
+
+TEST(Table, ThrowsOnNoHeaders) {
+    EXPECT_THROW(Table({}), InvalidArgumentError);
+}
+
+TEST(Table, CsvEscapesCommas) {
+    Table t({"name", "desc"});
+    t.add_row({"x", "a,b"});
+    const std::string csv = t.to_csv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_EQ(csv.find("name,desc"), 0u);
+}
+
+TEST(Format, Fixed) {
+    EXPECT_EQ(fmt::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt::fixed(-1.0, 0), "-1");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(fmt::percent(12.34), "12.3%");
+    EXPECT_EQ(fmt::percent(5.0, 0), "5%");
+}
+
+TEST(Format, SecondsAdaptiveUnits) {
+    EXPECT_EQ(fmt::seconds(1.23e-6), "1.23 us");
+    EXPECT_EQ(fmt::seconds(0.00123), "1.23 ms");
+    EXPECT_EQ(fmt::seconds(12.3), "12.3 s");
+    EXPECT_EQ(fmt::seconds(600.0), "10 min");
+    EXPECT_EQ(fmt::seconds(7200.0), "2 h");
+}
+
+TEST(Format, BytesAdaptiveUnits) {
+    EXPECT_EQ(fmt::bytes(512), "512 B");
+    EXPECT_EQ(fmt::bytes(2048), "2.00 KiB");
+    EXPECT_EQ(fmt::bytes(3.5 * 1024 * 1024), "3.50 MiB");
+    EXPECT_EQ(fmt::bytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}
+
+TEST(Format, CountThousandsSeparators) {
+    EXPECT_EQ(fmt::count(0), "0");
+    EXPECT_EQ(fmt::count(999), "999");
+    EXPECT_EQ(fmt::count(1000), "1,000");
+    EXPECT_EQ(fmt::count(1234567), "1,234,567");
+    EXPECT_EQ(fmt::count(-42000), "-42,000");
+}
+
+TEST(Format, Coeff) {
+    EXPECT_EQ(fmt::coeff(0.0), "0");
+    EXPECT_EQ(fmt::coeff(1.5), "1.5");
+    // Tiny magnitudes switch to scientific notation.
+    EXPECT_NE(fmt::coeff(1e-7).find("e-"), std::string::npos);
+    EXPECT_NE(fmt::coeff(1e9).find("e+"), std::string::npos);
+}

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "trace/kernel.hpp"
+#include "trace/timeline.hpp"
+
+using namespace extradeep::trace;
+using extradeep::ParseError;
+
+namespace {
+
+NvtxMark mark(NvtxMark::Kind kind, int epoch, int step, double time,
+              StepKind sk = StepKind::Train) {
+    NvtxMark m;
+    m.kind = kind;
+    m.epoch = epoch;
+    m.step = step;
+    m.step_kind = sk;
+    m.time = time;
+    return m;
+}
+
+TraceEvent event(const std::string& name, double start, double duration,
+                 KernelCategory cat = KernelCategory::CudaKernel) {
+    TraceEvent e;
+    e.name = name;
+    e.category = cat;
+    e.start = start;
+    e.duration = duration;
+    return e;
+}
+
+/// Two epochs, two train steps each, with gaps between steps.
+RankTrace simple_trace() {
+    RankTrace t;
+    t.rank = 0;
+    double cursor = 0.0;
+    for (int epoch = 0; epoch < 2; ++epoch) {
+        t.marks.push_back(mark(NvtxMark::Kind::EpochStart, epoch, -1, cursor));
+        for (int s = 0; s < 2; ++s) {
+            t.marks.push_back(mark(NvtxMark::Kind::StepStart, epoch, s, cursor));
+            t.events.push_back(event("kernel_a", cursor + 0.01, 0.02));
+            t.events.push_back(event("kernel_b", cursor + 0.04, 0.01));
+            cursor += 0.1;
+            t.marks.push_back(
+                mark(NvtxMark::Kind::StepEnd, epoch, s, cursor));
+            // Async event in the gap after the step.
+            t.events.push_back(event("async_copy", cursor + 0.001, 0.002,
+                                     KernelCategory::Memcpy));
+            cursor += 0.01;
+        }
+        t.marks.push_back(mark(NvtxMark::Kind::EpochEnd, epoch, -1, cursor));
+        cursor += 0.05;
+    }
+    return t;
+}
+
+}  // namespace
+
+TEST(KernelCategory, PhaseMapping) {
+    EXPECT_EQ(phase_of(KernelCategory::Mpi), Phase::Communication);
+    EXPECT_EQ(phase_of(KernelCategory::Nccl), Phase::Communication);
+    EXPECT_EQ(phase_of(KernelCategory::Memcpy), Phase::MemoryOp);
+    EXPECT_EQ(phase_of(KernelCategory::Memset), Phase::MemoryOp);
+    EXPECT_EQ(phase_of(KernelCategory::CudaKernel), Phase::Computation);
+    EXPECT_EQ(phase_of(KernelCategory::Cudnn), Phase::Computation);
+    EXPECT_EQ(phase_of(KernelCategory::Cublas), Phase::Computation);
+    EXPECT_EQ(phase_of(KernelCategory::Os), Phase::Computation);
+    EXPECT_EQ(phase_of(KernelCategory::NvtxFunction), Phase::Computation);
+    EXPECT_EQ(phase_of(KernelCategory::CudaApi), Phase::Computation);
+}
+
+TEST(KernelCategory, NameRoundTrip) {
+    for (int i = 0; i < kKernelCategoryCount; ++i) {
+        const auto cat = static_cast<KernelCategory>(i);
+        EXPECT_EQ(parse_category(category_name(cat)), cat);
+    }
+}
+
+TEST(KernelCategory, ParseUnknownThrows) {
+    EXPECT_THROW(parse_category("definitely not a category"), ParseError);
+}
+
+TEST(PhaseName, AllDistinct) {
+    EXPECT_NE(phase_name(Phase::Computation), phase_name(Phase::Communication));
+    EXPECT_NE(phase_name(Phase::Communication), phase_name(Phase::MemoryOp));
+}
+
+TEST(RankTrace, WallTimeIsMaxEnd) {
+    RankTrace t = simple_trace();
+    EXPECT_DOUBLE_EQ(t.wall_time(), 0.49);  // last epoch end mark
+}
+
+TEST(SegmentSteps, ProducesStepAndGapWindows) {
+    const auto windows = segment_steps(simple_trace());
+    int steps = 0;
+    int gaps = 0;
+    for (const auto& w : windows) {
+        if (w.async_gap) {
+            ++gaps;
+        } else {
+            ++steps;
+        }
+    }
+    EXPECT_EQ(steps, 4);  // 2 epochs x 2 steps
+    EXPECT_EQ(gaps, 4);   // gap after every step (closed by next start / epoch end)
+}
+
+TEST(SegmentSteps, AssignsEventsToCorrectWindows) {
+    const RankTrace t = simple_trace();
+    const auto windows = segment_steps(t);
+    for (const auto& w : windows) {
+        if (!w.async_gap) {
+            EXPECT_EQ(w.event_indices.size(), 2u)
+                << "epoch " << w.epoch << " step " << w.step;
+            for (const auto idx : w.event_indices) {
+                EXPECT_NE(t.events[idx].name, "async_copy");
+            }
+        } else {
+            ASSERT_EQ(w.event_indices.size(), 1u);
+            EXPECT_EQ(t.events[w.event_indices[0]].name, "async_copy");
+        }
+    }
+}
+
+TEST(SegmentSteps, GapWindowInheritsStepIdentity) {
+    const auto windows = segment_steps(simple_trace());
+    for (std::size_t i = 0; i + 1 < windows.size(); ++i) {
+        if (windows[i + 1].async_gap) {
+            EXPECT_EQ(windows[i].step, windows[i + 1].step);
+            EXPECT_EQ(windows[i].epoch, windows[i + 1].epoch);
+        }
+    }
+}
+
+TEST(SegmentSteps, IgnoresEventsBeforeFirstEpoch) {
+    RankTrace t = simple_trace();
+    // Shift everything and insert an init event before epoch 0.
+    t.events.push_back(event("init_work", -1.0, 0.5));
+    const auto windows = segment_steps(t);
+    for (const auto& w : windows) {
+        for (const auto idx : w.event_indices) {
+            EXPECT_NE(t.events[idx].name, "init_work");
+        }
+    }
+}
+
+TEST(SegmentSteps, IgnoresEventsBetweenEpochs) {
+    RankTrace t = simple_trace();
+    // Epoch 0 ends at 0.22, epoch 1 starts at 0.27 in simple_trace geometry.
+    t.events.push_back(event("checkpoint", 0.23, 0.01, KernelCategory::Os));
+    const auto windows = segment_steps(t);
+    for (const auto& w : windows) {
+        for (const auto idx : w.event_indices) {
+            EXPECT_NE(t.events[idx].name, "checkpoint");
+        }
+    }
+}
+
+TEST(SegmentSteps, ValidationStepsKeepKind) {
+    RankTrace t;
+    t.marks.push_back(mark(NvtxMark::Kind::EpochStart, 0, -1, 0.0));
+    t.marks.push_back(
+        mark(NvtxMark::Kind::StepStart, 0, 0, 0.0, StepKind::Validation));
+    t.marks.push_back(
+        mark(NvtxMark::Kind::StepEnd, 0, 0, 0.1, StepKind::Validation));
+    t.marks.push_back(mark(NvtxMark::Kind::EpochEnd, 0, -1, 0.2));
+    const auto windows = segment_steps(t);
+    ASSERT_FALSE(windows.empty());
+    EXPECT_EQ(windows.front().kind, StepKind::Validation);
+}
+
+TEST(SegmentSteps, UnsortedMarksAreSorted) {
+    RankTrace t = simple_trace();
+    std::swap(t.marks.front(), t.marks.back());
+    EXPECT_NO_THROW(segment_steps(t));
+}
+
+TEST(SegmentSteps, ThrowsOnNestedEpoch) {
+    RankTrace t;
+    t.marks.push_back(mark(NvtxMark::Kind::EpochStart, 0, -1, 0.0));
+    t.marks.push_back(mark(NvtxMark::Kind::EpochStart, 1, -1, 0.1));
+    EXPECT_THROW(segment_steps(t), ParseError);
+}
+
+TEST(SegmentSteps, ThrowsOnStepOutsideEpoch) {
+    RankTrace t;
+    t.marks.push_back(mark(NvtxMark::Kind::StepStart, 0, 0, 0.0));
+    EXPECT_THROW(segment_steps(t), ParseError);
+}
+
+TEST(SegmentSteps, ThrowsOnUnmatchedStepEnd) {
+    RankTrace t;
+    t.marks.push_back(mark(NvtxMark::Kind::EpochStart, 0, -1, 0.0));
+    t.marks.push_back(mark(NvtxMark::Kind::StepStart, 0, 0, 0.1));
+    t.marks.push_back(mark(NvtxMark::Kind::StepEnd, 0, 1, 0.2));
+    EXPECT_THROW(segment_steps(t), ParseError);
+}
+
+TEST(SegmentSteps, ThrowsOnTruncatedTrace) {
+    RankTrace t;
+    t.marks.push_back(mark(NvtxMark::Kind::EpochStart, 0, -1, 0.0));
+    EXPECT_THROW(segment_steps(t), ParseError);
+}
+
+TEST(SegmentSteps, EmptyTraceGivesNoWindows) {
+    RankTrace t;
+    EXPECT_TRUE(segment_steps(t).empty());
+}
+
+TEST(WindowsOfEpoch, FiltersByEpoch) {
+    const auto windows = segment_steps(simple_trace());
+    const auto e1 = windows_of_epoch(windows, 1);
+    for (const auto& w : e1) {
+        EXPECT_EQ(w.epoch, 1);
+    }
+    EXPECT_EQ(e1.size(), 4u);  // 2 steps + 2 gaps
+}
+
+TEST(EpochCount, CountsEpochs) {
+    EXPECT_EQ(epoch_count(simple_trace()), 2);
+    EXPECT_EQ(epoch_count(RankTrace{}), 0);
+}
+
+TEST(StepCount, CountsByKind) {
+    const RankTrace t = simple_trace();
+    EXPECT_EQ(step_count(t, 0, StepKind::Train), 2);
+    EXPECT_EQ(step_count(t, 0, StepKind::Validation), 0);
+}
