@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modeling_points.dir/ablation_modeling_points.cpp.o"
+  "CMakeFiles/ablation_modeling_points.dir/ablation_modeling_points.cpp.o.d"
+  "ablation_modeling_points"
+  "ablation_modeling_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modeling_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

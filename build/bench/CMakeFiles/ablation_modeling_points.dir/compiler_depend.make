@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_modeling_points.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sampling_steps.dir/ablation_sampling_steps.cpp.o"
+  "CMakeFiles/ablation_sampling_steps.dir/ablation_sampling_steps.cpp.o.d"
+  "ablation_sampling_steps"
+  "ablation_sampling_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampling_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_space.dir/ablation_search_space.cpp.o"
+  "CMakeFiles/ablation_search_space.dir/ablation_search_space.cpp.o.d"
+  "ablation_search_space"
+  "ablation_search_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_cost_effectiveness.dir/fig4_cost_effectiveness.cpp.o"
+  "CMakeFiles/fig4_cost_effectiveness.dir/fig4_cost_effectiveness.cpp.o.d"
+  "fig4_cost_effectiveness"
+  "fig4_cost_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cost_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

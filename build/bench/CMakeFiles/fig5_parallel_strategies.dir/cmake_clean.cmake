@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_parallel_strategies.dir/fig5_parallel_strategies.cpp.o"
+  "CMakeFiles/fig5_parallel_strategies.dir/fig5_parallel_strategies.cpp.o.d"
+  "fig5_parallel_strategies"
+  "fig5_parallel_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_parallel_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

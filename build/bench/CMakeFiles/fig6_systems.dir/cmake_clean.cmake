@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_systems.dir/fig6_systems.cpp.o"
+  "CMakeFiles/fig6_systems.dir/fig6_systems.cpp.o.d"
+  "fig6_systems"
+  "fig6_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

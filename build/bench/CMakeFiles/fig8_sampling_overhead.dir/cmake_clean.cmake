@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_sampling_overhead.dir/fig8_sampling_overhead.cpp.o"
+  "CMakeFiles/fig8_sampling_overhead.dir/fig8_sampling_overhead.cpp.o.d"
+  "fig8_sampling_overhead"
+  "fig8_sampling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_sampling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

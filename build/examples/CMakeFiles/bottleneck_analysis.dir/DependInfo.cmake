@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bottleneck_analysis.cpp" "examples/CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o" "gcc" "examples/CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extradeep/CMakeFiles/extradeep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/aggregation/CMakeFiles/extradeep_aggregation.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/extradeep_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/extradeep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/extradeep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/extradeep_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/modeling/CMakeFiles/extradeep_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/extradeep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/instrument/CMakeFiles/extradeep_instrument.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_cifar10.dir/case_study_cifar10.cpp.o"
+  "CMakeFiles/case_study_cifar10.dir/case_study_cifar10.cpp.o.d"
+  "case_study_cifar10"
+  "case_study_cifar10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_cifar10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

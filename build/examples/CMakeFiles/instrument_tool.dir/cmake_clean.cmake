@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_tool.dir/instrument_tool.cpp.o"
+  "CMakeFiles/instrument_tool.dir/instrument_tool.cpp.o.d"
+  "instrument_tool"
+  "instrument_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

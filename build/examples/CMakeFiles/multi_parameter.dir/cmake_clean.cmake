@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_parameter.dir/multi_parameter.cpp.o"
+  "CMakeFiles/multi_parameter.dir/multi_parameter.cpp.o.d"
+  "multi_parameter"
+  "multi_parameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

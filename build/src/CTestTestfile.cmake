@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("hw")
+subdirs("dnn")
+subdirs("parallel")
+subdirs("sim")
+subdirs("profiling")
+subdirs("aggregation")
+subdirs("modeling")
+subdirs("analysis")
+subdirs("instrument")
+subdirs("extradeep")

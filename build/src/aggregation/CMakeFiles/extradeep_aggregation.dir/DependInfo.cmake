@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aggregation/aggregate.cpp" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/aggregate.cpp.o" "gcc" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/aggregate.cpp.o.d"
+  "/root/repo/src/aggregation/experiment.cpp" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/experiment.cpp.o" "gcc" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/experiment.cpp.o.d"
+  "/root/repo/src/aggregation/metrics.cpp" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/metrics.cpp.o" "gcc" "src/aggregation/CMakeFiles/extradeep_aggregation.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/extradeep_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/extradeep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/extradeep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/extradeep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_aggregation.dir/aggregate.cpp.o"
+  "CMakeFiles/extradeep_aggregation.dir/aggregate.cpp.o.d"
+  "CMakeFiles/extradeep_aggregation.dir/experiment.cpp.o"
+  "CMakeFiles/extradeep_aggregation.dir/experiment.cpp.o.d"
+  "CMakeFiles/extradeep_aggregation.dir/metrics.cpp.o"
+  "CMakeFiles/extradeep_aggregation.dir/metrics.cpp.o.d"
+  "libextradeep_aggregation.a"
+  "libextradeep_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

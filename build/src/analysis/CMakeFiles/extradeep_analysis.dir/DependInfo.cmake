@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bottleneck.cpp" "src/analysis/CMakeFiles/extradeep_analysis.dir/bottleneck.cpp.o" "gcc" "src/analysis/CMakeFiles/extradeep_analysis.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/analysis/config_search.cpp" "src/analysis/CMakeFiles/extradeep_analysis.dir/config_search.cpp.o" "gcc" "src/analysis/CMakeFiles/extradeep_analysis.dir/config_search.cpp.o.d"
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/extradeep_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/extradeep_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/speedup.cpp" "src/analysis/CMakeFiles/extradeep_analysis.dir/speedup.cpp.o" "gcc" "src/analysis/CMakeFiles/extradeep_analysis.dir/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modeling/CMakeFiles/extradeep_modeling.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/extradeep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_analysis.dir/bottleneck.cpp.o"
+  "CMakeFiles/extradeep_analysis.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/extradeep_analysis.dir/config_search.cpp.o"
+  "CMakeFiles/extradeep_analysis.dir/config_search.cpp.o.d"
+  "CMakeFiles/extradeep_analysis.dir/cost.cpp.o"
+  "CMakeFiles/extradeep_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/extradeep_analysis.dir/speedup.cpp.o"
+  "CMakeFiles/extradeep_analysis.dir/speedup.cpp.o.d"
+  "libextradeep_analysis.a"
+  "libextradeep_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

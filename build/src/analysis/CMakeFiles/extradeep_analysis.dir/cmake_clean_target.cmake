@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libextradeep_analysis.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_common.dir/format.cpp.o"
+  "CMakeFiles/extradeep_common.dir/format.cpp.o.d"
+  "CMakeFiles/extradeep_common.dir/linalg.cpp.o"
+  "CMakeFiles/extradeep_common.dir/linalg.cpp.o.d"
+  "CMakeFiles/extradeep_common.dir/rng.cpp.o"
+  "CMakeFiles/extradeep_common.dir/rng.cpp.o.d"
+  "CMakeFiles/extradeep_common.dir/stats.cpp.o"
+  "CMakeFiles/extradeep_common.dir/stats.cpp.o.d"
+  "CMakeFiles/extradeep_common.dir/student_t.cpp.o"
+  "CMakeFiles/extradeep_common.dir/student_t.cpp.o.d"
+  "CMakeFiles/extradeep_common.dir/table.cpp.o"
+  "CMakeFiles/extradeep_common.dir/table.cpp.o.d"
+  "libextradeep_common.a"
+  "libextradeep_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

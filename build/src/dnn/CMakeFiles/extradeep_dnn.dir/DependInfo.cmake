@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/datasets.cpp" "src/dnn/CMakeFiles/extradeep_dnn.dir/datasets.cpp.o" "gcc" "src/dnn/CMakeFiles/extradeep_dnn.dir/datasets.cpp.o.d"
+  "/root/repo/src/dnn/layer.cpp" "src/dnn/CMakeFiles/extradeep_dnn.dir/layer.cpp.o" "gcc" "src/dnn/CMakeFiles/extradeep_dnn.dir/layer.cpp.o.d"
+  "/root/repo/src/dnn/network.cpp" "src/dnn/CMakeFiles/extradeep_dnn.dir/network.cpp.o" "gcc" "src/dnn/CMakeFiles/extradeep_dnn.dir/network.cpp.o.d"
+  "/root/repo/src/dnn/zoo.cpp" "src/dnn/CMakeFiles/extradeep_dnn.dir/zoo.cpp.o" "gcc" "src/dnn/CMakeFiles/extradeep_dnn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_dnn.dir/datasets.cpp.o"
+  "CMakeFiles/extradeep_dnn.dir/datasets.cpp.o.d"
+  "CMakeFiles/extradeep_dnn.dir/layer.cpp.o"
+  "CMakeFiles/extradeep_dnn.dir/layer.cpp.o.d"
+  "CMakeFiles/extradeep_dnn.dir/network.cpp.o"
+  "CMakeFiles/extradeep_dnn.dir/network.cpp.o.d"
+  "CMakeFiles/extradeep_dnn.dir/zoo.cpp.o"
+  "CMakeFiles/extradeep_dnn.dir/zoo.cpp.o.d"
+  "libextradeep_dnn.a"
+  "libextradeep_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

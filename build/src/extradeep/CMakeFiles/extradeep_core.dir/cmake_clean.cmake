@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_core.dir/models.cpp.o"
+  "CMakeFiles/extradeep_core.dir/models.cpp.o.d"
+  "CMakeFiles/extradeep_core.dir/runner.cpp.o"
+  "CMakeFiles/extradeep_core.dir/runner.cpp.o.d"
+  "libextradeep_core.a"
+  "libextradeep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

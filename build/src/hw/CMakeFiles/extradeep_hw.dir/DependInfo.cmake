@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/gpu.cpp" "src/hw/CMakeFiles/extradeep_hw.dir/gpu.cpp.o" "gcc" "src/hw/CMakeFiles/extradeep_hw.dir/gpu.cpp.o.d"
+  "/root/repo/src/hw/network.cpp" "src/hw/CMakeFiles/extradeep_hw.dir/network.cpp.o" "gcc" "src/hw/CMakeFiles/extradeep_hw.dir/network.cpp.o.d"
+  "/root/repo/src/hw/system.cpp" "src/hw/CMakeFiles/extradeep_hw.dir/system.cpp.o" "gcc" "src/hw/CMakeFiles/extradeep_hw.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

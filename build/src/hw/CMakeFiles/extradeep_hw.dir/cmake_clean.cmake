@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_hw.dir/gpu.cpp.o"
+  "CMakeFiles/extradeep_hw.dir/gpu.cpp.o.d"
+  "CMakeFiles/extradeep_hw.dir/network.cpp.o"
+  "CMakeFiles/extradeep_hw.dir/network.cpp.o.d"
+  "CMakeFiles/extradeep_hw.dir/system.cpp.o"
+  "CMakeFiles/extradeep_hw.dir/system.cpp.o.d"
+  "libextradeep_hw.a"
+  "libextradeep_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_instrument.dir/pyinstrument.cpp.o"
+  "CMakeFiles/extradeep_instrument.dir/pyinstrument.cpp.o.d"
+  "libextradeep_instrument.a"
+  "libextradeep_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

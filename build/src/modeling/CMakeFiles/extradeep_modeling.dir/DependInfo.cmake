@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modeling/fitter.cpp" "src/modeling/CMakeFiles/extradeep_modeling.dir/fitter.cpp.o" "gcc" "src/modeling/CMakeFiles/extradeep_modeling.dir/fitter.cpp.o.d"
+  "/root/repo/src/modeling/model.cpp" "src/modeling/CMakeFiles/extradeep_modeling.dir/model.cpp.o" "gcc" "src/modeling/CMakeFiles/extradeep_modeling.dir/model.cpp.o.d"
+  "/root/repo/src/modeling/search_space.cpp" "src/modeling/CMakeFiles/extradeep_modeling.dir/search_space.cpp.o" "gcc" "src/modeling/CMakeFiles/extradeep_modeling.dir/search_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

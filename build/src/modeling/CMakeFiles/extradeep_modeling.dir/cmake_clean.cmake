@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_modeling.dir/fitter.cpp.o"
+  "CMakeFiles/extradeep_modeling.dir/fitter.cpp.o.d"
+  "CMakeFiles/extradeep_modeling.dir/model.cpp.o"
+  "CMakeFiles/extradeep_modeling.dir/model.cpp.o.d"
+  "CMakeFiles/extradeep_modeling.dir/search_space.cpp.o"
+  "CMakeFiles/extradeep_modeling.dir/search_space.cpp.o.d"
+  "libextradeep_modeling.a"
+  "libextradeep_modeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

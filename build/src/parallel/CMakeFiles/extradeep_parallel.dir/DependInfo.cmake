@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/comm_plan.cpp" "src/parallel/CMakeFiles/extradeep_parallel.dir/comm_plan.cpp.o" "gcc" "src/parallel/CMakeFiles/extradeep_parallel.dir/comm_plan.cpp.o.d"
+  "/root/repo/src/parallel/steps.cpp" "src/parallel/CMakeFiles/extradeep_parallel.dir/steps.cpp.o" "gcc" "src/parallel/CMakeFiles/extradeep_parallel.dir/steps.cpp.o.d"
+  "/root/repo/src/parallel/strategy.cpp" "src/parallel/CMakeFiles/extradeep_parallel.dir/strategy.cpp.o" "gcc" "src/parallel/CMakeFiles/extradeep_parallel.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_parallel.dir/comm_plan.cpp.o"
+  "CMakeFiles/extradeep_parallel.dir/comm_plan.cpp.o.d"
+  "CMakeFiles/extradeep_parallel.dir/steps.cpp.o"
+  "CMakeFiles/extradeep_parallel.dir/steps.cpp.o.d"
+  "CMakeFiles/extradeep_parallel.dir/strategy.cpp.o"
+  "CMakeFiles/extradeep_parallel.dir/strategy.cpp.o.d"
+  "libextradeep_parallel.a"
+  "libextradeep_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiling/edp_io.cpp" "src/profiling/CMakeFiles/extradeep_profiling.dir/edp_io.cpp.o" "gcc" "src/profiling/CMakeFiles/extradeep_profiling.dir/edp_io.cpp.o.d"
+  "/root/repo/src/profiling/profiler.cpp" "src/profiling/CMakeFiles/extradeep_profiling.dir/profiler.cpp.o" "gcc" "src/profiling/CMakeFiles/extradeep_profiling.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiling/sampling.cpp" "src/profiling/CMakeFiles/extradeep_profiling.dir/sampling.cpp.o" "gcc" "src/profiling/CMakeFiles/extradeep_profiling.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/extradeep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/extradeep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/extradeep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

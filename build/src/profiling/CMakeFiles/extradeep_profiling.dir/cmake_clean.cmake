@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_profiling.dir/edp_io.cpp.o"
+  "CMakeFiles/extradeep_profiling.dir/edp_io.cpp.o.d"
+  "CMakeFiles/extradeep_profiling.dir/profiler.cpp.o"
+  "CMakeFiles/extradeep_profiling.dir/profiler.cpp.o.d"
+  "CMakeFiles/extradeep_profiling.dir/sampling.cpp.o"
+  "CMakeFiles/extradeep_profiling.dir/sampling.cpp.o.d"
+  "libextradeep_profiling.a"
+  "libextradeep_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_sim.dir/kernel_schedule.cpp.o"
+  "CMakeFiles/extradeep_sim.dir/kernel_schedule.cpp.o.d"
+  "CMakeFiles/extradeep_sim.dir/noise.cpp.o"
+  "CMakeFiles/extradeep_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/extradeep_sim.dir/simulator.cpp.o"
+  "CMakeFiles/extradeep_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/extradeep_sim.dir/workload.cpp.o"
+  "CMakeFiles/extradeep_sim.dir/workload.cpp.o.d"
+  "libextradeep_sim.a"
+  "libextradeep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extradeep_trace.dir/kernel.cpp.o"
+  "CMakeFiles/extradeep_trace.dir/kernel.cpp.o.d"
+  "CMakeFiles/extradeep_trace.dir/timeline.cpp.o"
+  "CMakeFiles/extradeep_trace.dir/timeline.cpp.o.d"
+  "libextradeep_trace.a"
+  "libextradeep_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extradeep_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_modeling.dir/test_modeling.cpp.o"
+  "CMakeFiles/test_modeling.dir/test_modeling.cpp.o.d"
+  "test_modeling"
+  "test_modeling.pdb"
+  "test_modeling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_modeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_profiling.cpp" "tests/CMakeFiles/test_profiling.dir/test_profiling.cpp.o" "gcc" "tests/CMakeFiles/test_profiling.dir/test_profiling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/profiling/CMakeFiles/extradeep_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/extradeep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/extradeep_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/extradeep_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/extradeep_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/extradeep_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/extradeep_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
