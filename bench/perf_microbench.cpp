@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "aggregation/aggregate.hpp"
@@ -66,6 +67,39 @@ void BM_ModelFit_2Terms(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelFit_2Terms)->Unit(benchmark::kMillisecond);
+
+// Fitter throughput over the full two-term hypothesis space (~1.4k
+// hypotheses per fit with the default exponent sets). Arg(0) is the thread
+// count, so comparing the Arg(1) and Arg(4) rows gives serial vs. parallel
+// hypotheses/sec directly; items_per_second is the headline number.
+void BM_FitterHypothesisSearch(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    Rng rng(7);
+    const std::vector<double> xs = {2, 4, 6, 8, 10, 12, 16, 24, 32, 48};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back((10.0 + 3.0 * x + 0.5 * x * std::log2(x)) *
+                     rng.lognormal_factor(0.03));
+    }
+    modeling::FitOptions opts;
+    opts.space.max_terms = 2;
+    opts.num_threads = threads;
+    const modeling::ModelGenerator gen(opts);
+    const int hypotheses_per_fit =
+        gen.fit(xs, ys).quality().hypotheses_searched;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gen.fit(xs, ys));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(hypotheses_per_fit));
+    state.counters["hypotheses_per_fit"] =
+        static_cast<double>(hypotheses_per_fit);
+}
+BENCHMARK(BM_FitterHypothesisSearch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TraceGeneration(benchmark::State& state) {
     const sim::TrainingSimulator simulator(

@@ -1,0 +1,128 @@
+#include "common/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace extradeep {
+
+int resolve_num_threads(int requested) {
+    if (requested >= 1) {
+        return requested;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+    const int threads = resolve_num_threads(num_threads);
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 1; i < threads; ++i) {
+        workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& w : workers_) {
+        w.join();
+    }
+}
+
+void ThreadPool::record_error(int chunk_index, std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_chunk_ < 0 || chunk_index < error_chunk_) {
+        error_chunk_ = chunk_index;
+        error_ = std::move(error);
+    }
+}
+
+void ThreadPool::run_chunk(int chunk_index) {
+    const std::size_t threads = static_cast<std::size_t>(thread_count());
+    const std::size_t begin =
+        job_count_ * static_cast<std::size_t>(chunk_index) / threads;
+    const std::size_t end =
+        job_count_ * (static_cast<std::size_t>(chunk_index) + 1) / threads;
+    if (begin >= end) {
+        return;
+    }
+    try {
+        (*job_body_)(chunk_index, begin, end);
+    } catch (...) {
+        record_error(chunk_index, std::current_exception());
+    }
+}
+
+void ThreadPool::worker_loop(int chunk_index) {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_) {
+                return;
+            }
+            seen_generation = generation_;
+        }
+        run_chunk(chunk_index);
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            last = --pending_ == 0;
+        }
+        if (last) {
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(int, std::size_t, std::size_t)>& body) {
+    if (count == 0) {
+        return;
+    }
+    if (workers_.empty()) {
+        // Single-threaded pool: run inline, preserving the chunk interface.
+        body(0, 0, count);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_count_ = count;
+        job_body_ = &body;
+        error_chunk_ = -1;
+        error_ = nullptr;
+        pending_ = static_cast<int>(workers_.size());
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    run_chunk(0);  // the caller is chunk 0
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_cv_.wait(lock, [&] { return pending_ == 0; });
+        job_body_ = nullptr;
+        if (error_) {
+            std::exception_ptr err = std::move(error_);
+            error_ = nullptr;
+            lock.unlock();
+            std::rethrow_exception(err);
+        }
+    }
+}
+
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(int, std::size_t, std::size_t)>& body) {
+    const int threads =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(resolve_num_threads(num_threads)),
+            std::max<std::size_t>(count, 1)));
+    ThreadPool pool(threads);
+    pool.parallel_for(count, body);
+}
+
+}  // namespace extradeep

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace extradeep {
+
+/// Resolves a thread-count request: values >= 1 are taken as-is, anything
+/// else (0 or negative) means "use the hardware concurrency" (at least 1).
+int resolve_num_threads(int requested);
+
+/// A small reusable fork-join thread pool for data-parallel loops. Workers
+/// are spawned once and reused across parallel_for calls, so the pool can be
+/// hoisted out of hot loops (e.g. one pool per model-generation pass).
+///
+/// The pool always counts the calling thread as worker 0: a pool of size T
+/// spawns T - 1 background threads and runs one chunk on the caller, so
+/// ThreadPool(1) degenerates to an inline loop with zero threading overhead.
+class ThreadPool {
+public:
+    /// `num_threads` is resolved via resolve_num_threads.
+    explicit ThreadPool(int num_threads = 1);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total number of threads participating in parallel_for (including the
+    /// calling thread).
+    int thread_count() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /// Splits [0, count) into one contiguous chunk per thread (chunk c covers
+    /// [count*c/T, count*(c+1)/T)) and runs `body(chunk_index, begin, end)`
+    /// on every non-empty chunk concurrently. Blocks until all chunks have
+    /// finished. If any chunk throws, the exception from the lowest chunk
+    /// index is rethrown on the caller after all chunks complete, which keeps
+    /// error reporting deterministic across thread counts.
+    void parallel_for(std::size_t count,
+                      const std::function<void(int chunk, std::size_t begin,
+                                               std::size_t end)>& body);
+
+private:
+    void worker_loop(int chunk_index);
+    void run_chunk(int chunk_index);
+    void record_error(int chunk_index, std::exception_ptr error);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+
+    // State of the in-flight parallel_for.
+    std::size_t job_count_ = 0;
+    const std::function<void(int, std::size_t, std::size_t)>* job_body_ = nullptr;
+    int error_chunk_ = -1;
+    std::exception_ptr error_;
+};
+
+/// One-shot convenience: runs `body` over [0, count) with a transient pool of
+/// `num_threads` threads (resolved via resolve_num_threads). Prefer a named
+/// ThreadPool when calling repeatedly.
+void parallel_for(std::size_t count, int num_threads,
+                  const std::function<void(int chunk, std::size_t begin,
+                                           std::size_t end)>& body);
+
+}  // namespace extradeep

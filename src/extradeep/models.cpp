@@ -1,9 +1,11 @@
 #include "extradeep/models.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 #include "common/stats.hpp"
 
 namespace extradeep {
@@ -62,38 +64,72 @@ std::vector<KernelModelEntry> model_kernels(
     if (!steps) {
         throw InvalidArgumentError("model_kernels: null StepMathFn");
     }
-    std::vector<KernelModelEntry> out;
+    // Gather the per-(kernel, metric) fit inputs serially, then run the
+    // independent PMNF fits across the thread budget of the generator. When
+    // the kernel loop is parallel the per-fit hypothesis search runs
+    // serially (and vice versa), so the thread count is a single knob and
+    // never oversubscribes.
+    struct FitTask {
+        std::string name;
+        trace::KernelCategory category;
+        aggregation::Metric metric;
+        std::vector<double> xs;
+        std::vector<double> train_values;
+        std::vector<double> val_values;
+    };
+    std::vector<FitTask> tasks;
     const auto kernel_names = data.modelable_kernels(min_configs);
     for (const auto& name : kernel_names) {
         for (const auto metric : metrics) {
-            std::vector<double> xs;
-            std::vector<double> train_values;
-            std::vector<double> val_values;
+            FitTask task;
+            task.name = name;
+            task.category = data.kernel_category(name);
+            task.metric = metric;
             bool all_zero = true;
             for (const auto& config : data.configs()) {
                 const aggregation::KernelStats* k = config.find_kernel(name);
                 if (k == nullptr) {
                     continue;  // kernel absent at this point
                 }
-                xs.push_back(config.params.at("x1"));
-                train_values.push_back(k->train_metric(metric));
-                val_values.push_back(k->val_metric(metric));
-                if (train_values.back() != 0.0 || val_values.back() != 0.0) {
+                task.xs.push_back(config.params.at("x1"));
+                task.train_values.push_back(k->train_metric(metric));
+                task.val_values.push_back(k->val_metric(metric));
+                if (task.train_values.back() != 0.0 ||
+                    task.val_values.back() != 0.0) {
                     all_zero = false;
                 }
             }
-            if (all_zero || xs.size() < static_cast<std::size_t>(min_configs)) {
+            if (all_zero ||
+                task.xs.size() < static_cast<std::size_t>(min_configs)) {
                 continue;
             }
-            KernelModelEntry entry;
-            entry.name = name;
-            entry.category = data.kernel_category(name);
-            entry.metric = metric;
-            entry.model = EpochModel(generator.fit(xs, train_values),
-                                     generator.fit(xs, val_values), steps);
-            out.push_back(std::move(entry));
+            tasks.push_back(std::move(task));
         }
     }
+
+    const int threads = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(
+            resolve_num_threads(generator.options().num_threads)),
+        std::max<std::size_t>(tasks.size(), 1)));
+    modeling::FitOptions per_kernel_options = generator.options();
+    per_kernel_options.num_threads = threads > 1 ? 1 : generator.options().num_threads;
+    const modeling::ModelGenerator per_kernel_generator(per_kernel_options);
+
+    std::vector<KernelModelEntry> out(tasks.size());
+    ThreadPool pool(threads);
+    pool.parallel_for(tasks.size(), [&](int, std::size_t begin,
+                                        std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const FitTask& task = tasks[i];
+            KernelModelEntry& entry = out[i];
+            entry.name = task.name;
+            entry.category = task.category;
+            entry.metric = task.metric;
+            entry.model = EpochModel(
+                per_kernel_generator.fit(task.xs, task.train_values),
+                per_kernel_generator.fit(task.xs, task.val_values), steps);
+        }
+    });
     return out;
 }
 

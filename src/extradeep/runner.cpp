@@ -79,7 +79,9 @@ StepMathFn ExperimentRunner::step_math_fn() const {
 }
 
 modeling::ModelGenerator ExperimentRunner::default_generator() const {
-    return modeling::ModelGenerator();
+    modeling::FitOptions options;
+    options.num_threads = spec_.fit_threads;
+    return modeling::ModelGenerator(options);
 }
 
 ExperimentResult ExperimentRunner::run() const {

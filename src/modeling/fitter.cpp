@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <set>
+#include <tuple>
 
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 #include "common/stats.hpp"
 
 namespace extradeep::modeling {
@@ -21,63 +24,157 @@ struct HypothesisFit {
     linalg::Matrix cov_unscaled;
 };
 
-/// Basis matrix of a hypothesis: column 0 is the constant, column t+1 the
-/// t-th term's basis value at each point.
-linalg::Matrix basis_matrix(const std::vector<Term>& terms,
-                            const std::vector<std::vector<double>>& points) {
-    linalg::Matrix b(points.size(), terms.size() + 1);
-    for (std::size_t r = 0; r < points.size(); ++r) {
-        b(r, 0) = 1.0;
-        for (std::size_t t = 0; t < terms.size(); ++t) {
-            b(r, t + 1) = terms[t].basis(points[r]);
+/// Shared per-point-set cache of factor basis columns. Across the PMNF
+/// hypothesis space the same factor x^i log2(x)^j appears in many hypotheses
+/// (every 2-term combination re-uses the single factors); evaluating each
+/// distinct factor once per point set and assembling hypothesis basis
+/// matrices from the cached columns removes the repeated pow/log work from
+/// the search hot loop. Multiplication order when combining a term's factor
+/// columns matches Term::basis exactly, so cached and direct evaluation are
+/// bit-identical.
+class FactorColumnCache {
+public:
+    FactorColumnCache(const std::vector<std::vector<Term>>& hypotheses,
+                      const std::vector<std::vector<double>>& points)
+        : num_points_(points.size()) {
+        for (const auto& h : hypotheses) {
+            for (const auto& t : h) {
+                for (const auto& f : t.factors) {
+                    if (find(f) != nullptr) {
+                        continue;
+                    }
+                    if (f.param < 0 ||
+                        static_cast<std::size_t>(f.param) >=
+                            (points.empty() ? 0 : points.front().size())) {
+                        throw InvalidArgumentError(
+                            "FactorColumnCache: parameter index out of range");
+                    }
+                    std::vector<double> column;
+                    column.reserve(points.size());
+                    for (const auto& p : points) {
+                        column.push_back(f.evaluate(p[f.param]));
+                    }
+                    factors_.push_back(f);
+                    columns_.push_back(std::move(column));
+                }
+            }
         }
     }
-    return b;
+
+    std::size_t num_points() const { return num_points_; }
+
+    const std::vector<double>& column(const Factor& f) const {
+        const std::vector<double>* col = find(f);
+        if (col == nullptr) {
+            throw InvalidArgumentError("FactorColumnCache: unknown factor");
+        }
+        return *col;
+    }
+
+private:
+    const std::vector<double>* find(const Factor& f) const {
+        // The distinct-factor count is small (~100 for the default space), so
+        // a linear scan beats hashing here.
+        for (std::size_t i = 0; i < factors_.size(); ++i) {
+            if (factors_[i] == f) {
+                return &columns_[i];
+            }
+        }
+        return nullptr;
+    }
+
+    std::size_t num_points_ = 0;
+    std::vector<Factor> factors_;
+    std::vector<std::vector<double>> columns_;
+};
+
+/// Per-thread scratch buffers for the hypothesis-fit loop: the basis matrix,
+/// the row-subset system of the leave-one-out refits, and the prediction
+/// vectors are reused across hypotheses instead of reallocated per fit.
+/// Every cell the fit reads is overwritten first, so reuse cannot leak state
+/// between hypotheses (and results stay bit-identical to fresh buffers).
+struct FitScratch {
+    linalg::Matrix basis;
+    linalg::Matrix a;
+    std::vector<double> b;
+    std::vector<double> predicted;
+    std::vector<double> cv_pred;
+};
+
+void ensure_shape(linalg::Matrix& m, std::size_t rows, std::size_t cols) {
+    if (m.rows() != rows || m.cols() != cols) {
+        m = linalg::Matrix(rows, cols);
+    }
 }
 
-/// Least squares on a row subset (mask[i] == false rows excluded).
-linalg::LeastSquaresResult fit_rows(const linalg::Matrix& basis,
-                                    const std::vector<double>& values,
-                                    const std::vector<bool>* exclude,
-                                    std::size_t excluded_row) {
-    const std::size_t n = basis.rows();
-    const std::size_t k = basis.cols();
-    std::size_t rows = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if ((exclude == nullptr || !(*exclude)[i]) && i != excluded_row) {
-            ++rows;
+/// Assembles a hypothesis's basis matrix from cached factor columns into
+/// `scratch.basis`: column 0 is the constant, column t+1 the t-th term's
+/// basis value at each point.
+void basis_matrix(const std::vector<Term>& terms,
+                  const FactorColumnCache& cache, FitScratch& scratch) {
+    const std::size_t n = cache.num_points();
+    ensure_shape(scratch.basis, n, terms.size() + 1);
+    linalg::Matrix& b = scratch.basis;
+    for (std::size_t r = 0; r < n; ++r) {
+        b(r, 0) = 1.0;
+    }
+    for (std::size_t t = 0; t < terms.size(); ++t) {
+        for (std::size_t r = 0; r < n; ++r) {
+            b(r, t + 1) = 1.0;
+        }
+        for (const auto& f : terms[t].factors) {
+            const std::vector<double>& col = cache.column(f);
+            for (std::size_t r = 0; r < n; ++r) {
+                b(r, t + 1) *= col[r];
+            }
         }
     }
-    linalg::Matrix a(rows, k);
-    std::vector<double> b(rows);
+}
+
+/// Least squares on a row subset (rows with index == excluded_row excluded).
+linalg::LeastSquaresResult fit_rows(const linalg::Matrix& basis,
+                                    const std::vector<double>& values,
+                                    std::size_t excluded_row,
+                                    FitScratch& scratch) {
+    const std::size_t n = basis.rows();
+    const std::size_t k = basis.cols();
+    const std::size_t rows = excluded_row < n ? n - 1 : n;
+    ensure_shape(scratch.a, rows, k);
+    scratch.b.resize(rows);
     std::size_t r = 0;
     for (std::size_t i = 0; i < n; ++i) {
-        if ((exclude != nullptr && (*exclude)[i]) || i == excluded_row) {
+        if (i == excluded_row) {
             continue;
         }
         for (std::size_t c = 0; c < k; ++c) {
-            a(r, c) = basis(i, c);
+            scratch.a(r, c) = basis(i, c);
         }
-        b[r] = values[i];
+        scratch.b[r] = values[i];
         ++r;
     }
-    return linalg::least_squares(a, b);
+    return linalg::least_squares(scratch.a, scratch.b);
 }
 
-HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
-                             const std::vector<std::vector<double>>& points,
-                             const std::vector<double>& values) {
+/// Whether a hypothesis with `num_terms` terms can be judged on n points.
+/// Exact-interpolation fits (n == k with at least one term) are rejected:
+/// they leave no residual, so every such hypothesis scores a near-zero SMAPE
+/// regardless of its functional form and selection among them would be
+/// arbitrary. Only the degenerate constant-through-one-point case is kept as
+/// an ultimate fallback.
+bool enough_points(std::size_t n, std::size_t num_terms) {
+    const std::size_t k = num_terms + 1;
+    return n >= k + 1 || (n == k && num_terms == 0);
+}
+
+/// Fits one hypothesis given its prebuilt basis matrix (in scratch.basis).
+/// The caller must have checked enough_points already.
+HypothesisFit fit_basis(std::size_t num_terms,
+                        const std::vector<double>& values,
+                        FitScratch& scratch) {
     HypothesisFit out;
-    const std::size_t n = points.size();
-    const std::size_t k = terms.size() + 1;
-    if (n < k + 1 && !(n == k && terms.empty())) {
-        // Not enough points to fit and still have a residual to judge by;
-        // require at least one spare point (the constant model always fits).
-        if (n < k) {
-            return out;
-        }
-    }
-    const linalg::Matrix basis = basis_matrix(terms, points);
+    const linalg::Matrix& basis = scratch.basis;
+    const std::size_t n = basis.rows();
+    const std::size_t k = num_terms + 1;
     for (std::size_t r = 0; r < basis.rows(); ++r) {
         for (std::size_t c = 0; c < basis.cols(); ++c) {
             if (!std::isfinite(basis(r, c))) {
@@ -85,7 +182,7 @@ HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
             }
         }
     }
-    const auto full = fit_rows(basis, values, nullptr, n);
+    const auto full = fit_rows(basis, values, n, scratch);
     if (full.rank_deficient) {
         return out;
     }
@@ -95,25 +192,25 @@ HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
         }
     }
 
-    std::vector<double> predicted(n, 0.0);
+    scratch.predicted.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         double v = 0.0;
         for (std::size_t c = 0; c < k; ++c) {
             v += basis(i, c) * full.coefficients[c];
         }
-        predicted[i] = v;
+        scratch.predicted[i] = v;
     }
-    out.fit_smape = stats::smape(predicted, values);
+    out.fit_smape = stats::smape(scratch.predicted, values);
     out.rss = full.residual_norm * full.residual_norm;
     out.coefficients = full.coefficients;
     out.cov_unscaled = full.covariance_unscaled;
 
     // Leave-one-out cross-validation, the paper's selection criterion.
     if (n >= k + 1) {
-        std::vector<double> cv_pred(n, 0.0);
+        scratch.cv_pred.resize(n);
         bool cv_ok = true;
         for (std::size_t leave = 0; leave < n; ++leave) {
-            const auto part = fit_rows(basis, values, nullptr, leave);
+            const auto part = fit_rows(basis, values, leave, scratch);
             if (part.rank_deficient) {
                 cv_ok = false;
                 break;
@@ -126,21 +223,69 @@ HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
                 cv_ok = false;
                 break;
             }
-            cv_pred[leave] = v;
+            scratch.cv_pred[leave] = v;
         }
         if (cv_ok) {
-            out.cv_smape = stats::smape(cv_pred, values);
+            out.cv_smape = stats::smape(scratch.cv_pred, values);
         } else {
             return out;
         }
     } else {
-        // No spare point for cross-validation (only possible for the
-        // richest hypotheses at the minimum point count): fall back to the
-        // fit error with a stiff penalty so simpler models win.
+        // Only reachable for the constant hypothesis at n == 1 (see
+        // enough_points): no spare point for cross-validation, fall back to
+        // the fit error with a stiff penalty so validated models win.
         out.cv_smape = out.fit_smape * 4.0 + 1.0;
     }
     out.valid = true;
     return out;
+}
+
+HypothesisFit fit_hypothesis(const std::vector<Term>& terms,
+                             const FactorColumnCache& cache,
+                             const std::vector<double>& values,
+                             FitScratch& scratch) {
+    if (!enough_points(cache.num_points(), terms.size())) {
+        return {};
+    }
+    basis_matrix(terms, cache, scratch);
+    return fit_basis(terms.size(), values, scratch);
+}
+
+/// Canonical order-independent key of a hypothesis, used to deduplicate the
+/// multi-parameter candidate list: the multi-parameter generator can re-emit
+/// hypotheses that are already present as single-parameter candidates (e.g.
+/// when a parameter contributes no usable factor), and term order within a
+/// hypothesis carries no meaning. Exponent doubles come verbatim from the
+/// search space, so comparing them exactly is well defined.
+using FactorKey = std::tuple<int, double, int>;
+using HypothesisKey = std::vector<std::vector<FactorKey>>;
+
+HypothesisKey hypothesis_key(const std::vector<Term>& h) {
+    HypothesisKey key;
+    key.reserve(h.size());
+    for (const auto& t : h) {
+        std::vector<FactorKey> factors;
+        factors.reserve(t.factors.size());
+        for (const auto& f : t.factors) {
+            factors.emplace_back(f.param, f.poly_exp, f.log_exp);
+        }
+        std::sort(factors.begin(), factors.end());
+        key.push_back(std::move(factors));
+    }
+    std::sort(key.begin(), key.end());
+    return key;
+}
+
+void dedupe_hypotheses(std::vector<std::vector<Term>>& hypotheses) {
+    std::set<HypothesisKey> seen;
+    std::vector<std::vector<Term>> unique;
+    unique.reserve(hypotheses.size());
+    for (auto& h : hypotheses) {
+        if (seen.insert(hypothesis_key(h)).second) {
+            unique.push_back(std::move(h));
+        }
+    }
+    hypotheses = std::move(unique);
 }
 
 }  // namespace
@@ -171,12 +316,10 @@ PerformanceModel ModelGenerator::fit(
                 "ModelGenerator::fit: inconsistent point dimensions");
         }
     }
-    if (param_names.size() != dims) {
-        param_names.resize(dims);
-        for (std::size_t d = 0; d < dims; ++d) {
-            if (param_names[d].empty()) {
-                param_names[d] = "x" + std::to_string(d + 1);
-            }
+    param_names.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+        if (param_names[d].empty()) {
+            param_names[d] = std::string("x") + std::to_string(d + 1);
         }
     }
     for (const double v : values) {
@@ -227,13 +370,17 @@ PerformanceModel ModelGenerator::fit(
                     rank_values = values;
                 }
             }
-            // Rank this parameter's 1-term hypotheses by CV error.
+            // Rank this parameter's 1-term hypotheses by CV error, sharing
+            // one factor-column cache over the ranking subset.
+            const FactorColumnCache rank_cache(single, rank_points);
+            FitScratch rank_scratch;
             std::vector<std::pair<double, Factor>> ranked;
             for (const auto& h : single) {
                 if (h.size() != 1) {
                     continue;
                 }
-                const auto f = fit_hypothesis(h, rank_points, rank_values);
+                const auto f =
+                    fit_hypothesis(h, rank_cache, rank_values, rank_scratch);
                 if (f.valid) {
                     ranked.emplace_back(f.cv_smape, h.front().factors.front());
                 }
@@ -253,32 +400,70 @@ PerformanceModel ModelGenerator::fit(
         const auto multi =
             options_.space.multi_parameter_hypotheses(best_factors);
         hypotheses.insert(hypotheses.end(), multi.begin(), multi.end());
+        // Only the multi-parameter generator can emit duplicates; the
+        // single-parameter spaces are duplicate-free by construction.
+        dedupe_hypotheses(hypotheses);
     }
 
     // Fit all hypotheses and select by (penalised) cross-validated SMAPE.
-    double best_score = std::numeric_limits<double>::infinity();
-    const std::vector<Term>* best_terms = nullptr;
-    HypothesisFit best_fit;
-    int searched = 0;
-    for (const auto& h : hypotheses) {
-        const auto f = fit_hypothesis(h, points, values);
-        ++searched;
-        if (!f.valid) {
+    // The loop is embarrassingly parallel: every hypothesis fit only reads
+    // the shared factor-column cache, and each chunk reduces into its own
+    // (score, index, fit) slot. Chunks are merged in index order with ties
+    // broken by the smaller hypothesis index, which reproduces the serial
+    // first-strict-minimum selection bit for bit at any thread count.
+    const FactorColumnCache cache(hypotheses, points);
+    const int threads = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(resolve_num_threads(options_.num_threads)),
+        std::max<std::size_t>(hypotheses.size(), 1)));
+    struct ChunkBest {
+        double score = std::numeric_limits<double>::infinity();
+        std::size_t index = 0;
+        HypothesisFit fit;
+        bool any = false;
+    };
+    std::vector<ChunkBest> chunk_best(static_cast<std::size_t>(threads));
+    std::vector<FitScratch> scratch(static_cast<std::size_t>(threads));
+    ThreadPool pool(threads);
+    pool.parallel_for(
+        hypotheses.size(),
+        [&](int chunk, std::size_t begin, std::size_t end) {
+            ChunkBest& best = chunk_best[static_cast<std::size_t>(chunk)];
+            FitScratch& chunk_scratch = scratch[static_cast<std::size_t>(chunk)];
+            for (std::size_t i = begin; i < end; ++i) {
+                auto f = fit_hypothesis(hypotheses[i], cache, values,
+                                        chunk_scratch);
+                if (!f.valid) {
+                    continue;
+                }
+                const double score =
+                    f.cv_smape *
+                    (1.0 + options_.term_penalty *
+                               static_cast<double>(hypotheses[i].size()));
+                if (!best.any || score < best.score) {
+                    best.score = score;
+                    best.index = i;
+                    best.fit = std::move(f);
+                    best.any = true;
+                }
+            }
+        });
+    const ChunkBest* winner = nullptr;
+    for (const auto& b : chunk_best) {
+        if (!b.any) {
             continue;
         }
-        const double score =
-            f.cv_smape * (1.0 + options_.term_penalty * h.size());
-        if (score < best_score) {
-            best_score = score;
-            best_terms = &h;
-            best_fit = f;
+        if (winner == nullptr || b.score < winner->score ||
+            (b.score == winner->score && b.index < winner->index)) {
+            winner = &b;
         }
     }
-    if (best_terms == nullptr) {
+    if (winner == nullptr) {
         throw NumericalError("ModelGenerator::fit: no hypothesis could be fitted");
     }
+    const HypothesisFit& best_fit = winner->fit;
+    const int searched = static_cast<int>(hypotheses.size());
 
-    std::vector<Term> terms = *best_terms;
+    std::vector<Term> terms = hypotheses[winner->index];
     for (std::size_t t = 0; t < terms.size(); ++t) {
         terms[t].coefficient = best_fit.coefficients[t + 1];
     }

@@ -1,0 +1,177 @@
+// Equivalence tests for the parallel PMNF hypothesis search: at any thread
+// count the fitter must return *bit-identical* models to the serial path —
+// same terms, same coefficients, same quality metrics — because every
+// hypothesis fit is an independent computation over the shared factor-column
+// cache and the reduction breaks score ties by hypothesis index.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel_for.hpp"
+#include "common/rng.hpp"
+#include "modeling/fitter.hpp"
+#include "modeling/model.hpp"
+
+using namespace extradeep;
+using namespace extradeep::modeling;
+
+namespace {
+
+/// Asserts two fitted models are identical down to the last bit.
+void expect_identical(const PerformanceModel& a, const PerformanceModel& b) {
+    EXPECT_EQ(a.constant(), b.constant());
+    ASSERT_EQ(a.terms().size(), b.terms().size());
+    for (std::size_t t = 0; t < a.terms().size(); ++t) {
+        EXPECT_EQ(a.terms()[t].coefficient, b.terms()[t].coefficient);
+        ASSERT_EQ(a.terms()[t].factors.size(), b.terms()[t].factors.size());
+        for (std::size_t f = 0; f < a.terms()[t].factors.size(); ++f) {
+            EXPECT_EQ(a.terms()[t].factors[f], b.terms()[t].factors[f]);
+        }
+    }
+    EXPECT_EQ(a.quality().fit_smape, b.quality().fit_smape);
+    EXPECT_EQ(a.quality().cv_smape, b.quality().cv_smape);
+    EXPECT_EQ(a.quality().rss, b.quality().rss);
+    EXPECT_EQ(a.quality().r_squared, b.quality().r_squared);
+    EXPECT_EQ(a.quality().hypotheses_searched, b.quality().hypotheses_searched);
+    EXPECT_EQ(a.param_names(), b.param_names());
+    EXPECT_EQ(a.to_string(), b.to_string());
+}
+
+ModelGenerator generator_with_threads(int threads, int max_terms = 2) {
+    FitOptions opts;
+    opts.space.max_terms = max_terms;
+    opts.num_threads = threads;
+    return ModelGenerator(opts);
+}
+
+}  // namespace
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+    for (const int threads : {1, 2, 4, 7}) {
+        std::vector<std::atomic<int>> hits(103);
+        for (auto& h : hits) h = 0;
+        parallel_for(hits.size(), threads,
+                     [&](int, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                             ++hits[i];
+                         }
+                     });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            EXPECT_EQ(hits[i], 1) << "index " << i << " threads " << threads;
+        }
+    }
+}
+
+TEST(ParallelFor, ZeroCountRunsNothing) {
+    bool ran = false;
+    parallel_for(0, 4, [&](int, std::size_t, std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesLowestChunkException) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4);
+    try {
+        pool.parallel_for(100, [&](int chunk, std::size_t, std::size_t) {
+            throw std::runtime_error("chunk " + std::to_string(chunk));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "chunk 0");
+    }
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossCalls) {
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<long> sum{0};
+        pool.parallel_for(1000, [&](int, std::size_t begin, std::size_t end) {
+            long local = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+                local += static_cast<long>(i);
+            }
+            sum += local;
+        });
+        EXPECT_EQ(sum, 999L * 1000L / 2);
+    }
+}
+
+TEST(ResolveNumThreads, Semantics) {
+    EXPECT_EQ(resolve_num_threads(1), 1);
+    EXPECT_EQ(resolve_num_threads(7), 7);
+    EXPECT_GE(resolve_num_threads(0), 1);
+    EXPECT_GE(resolve_num_threads(-3), 1);
+}
+
+TEST(ParallelFitter, Identical1D) {
+    Rng rng(42);
+    const std::vector<double> xs = {2, 4, 6, 8, 10, 12, 16, 24, 32, 48};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back((10.0 + 3.0 * x + 0.5 * x * std::log2(x)) *
+                     rng.lognormal_factor(0.03));
+    }
+    const PerformanceModel serial = generator_with_threads(1).fit(xs, ys);
+    const PerformanceModel parallel = generator_with_threads(4).fit(xs, ys);
+    expect_identical(serial, parallel);
+}
+
+TEST(ParallelFitter, Identical2D) {
+    Rng rng(7);
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        for (const double y : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+            pts.push_back({x, y});
+            ys.push_back((5.0 + 2.0 * x + 3.0 * std::log2(y)) *
+                         rng.lognormal_factor(0.02));
+        }
+    }
+    const PerformanceModel serial =
+        generator_with_threads(1).fit(pts, ys, {"x1", "x2"});
+    const PerformanceModel parallel =
+        generator_with_threads(4).fit(pts, ys, {"x1", "x2"});
+    expect_identical(serial, parallel);
+}
+
+TEST(ParallelFitter, IdenticalWithRankDeficientHypotheses) {
+    // Only two distinct x values: every 2-term basis (3 columns) has rank at
+    // most 2, so a large share of the hypothesis space is rank deficient and
+    // must be skipped identically by both paths.
+    const std::vector<double> xs = {2, 2, 2, 8, 8, 8};
+    const std::vector<double> ys = {1.1, 0.9, 1.0, 4.1, 3.9, 4.0};
+    const PerformanceModel serial = generator_with_threads(1).fit(xs, ys);
+    const PerformanceModel parallel = generator_with_threads(4).fit(xs, ys);
+    expect_identical(serial, parallel);
+    EXPECT_LE(serial.terms().size(), 1u);
+}
+
+TEST(ParallelFitter, IdenticalWithNonFiniteBasisHypotheses) {
+    // x = 1e120 overflows the cubic (and most higher) basis columns to
+    // infinity; those hypotheses are invalid and both paths must reject them
+    // the same way without poisoning the rest of the search.
+    const std::vector<double> xs = {2, 4, 8, 16, 1e120};
+    const std::vector<double> ys = {1.0, 2.0, 3.0, 4.0, 400.0};
+    const PerformanceModel serial = generator_with_threads(1).fit(xs, ys);
+    const PerformanceModel parallel = generator_with_threads(4).fit(xs, ys);
+    expect_identical(serial, parallel);
+}
+
+TEST(ParallelFitter, HardwareThreadCountAlsoIdentical) {
+    // num_threads = 0 resolves to the hardware concurrency, whatever it is
+    // on the machine running the tests.
+    Rng rng(3);
+    const std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+    std::vector<double> ys;
+    for (const double x : xs) {
+        ys.push_back((4.0 + 2.0 * x) * rng.lognormal_factor(0.05));
+    }
+    const PerformanceModel serial = generator_with_threads(1, 1).fit(xs, ys);
+    const PerformanceModel parallel = generator_with_threads(0, 1).fit(xs, ys);
+    expect_identical(serial, parallel);
+}

@@ -120,6 +120,39 @@ TEST(Integration, KernelModelsCoverPopulationAndPredict) {
     EXPECT_TRUE(found_mpi);
 }
 
+TEST(Integration, ParallelKernelModelingMatchesSerial) {
+    // model_kernels spends FitOptions::num_threads on the per-kernel loop;
+    // the fits are independent, so entry order, selected terms and quality
+    // metrics must be bit-identical to the serial pass.
+    const ExperimentRunner runner(small_spec());
+    const ExperimentResult result = runner.run();
+    modeling::FitOptions serial_opts;
+    serial_opts.num_threads = 1;
+    modeling::FitOptions parallel_opts;
+    parallel_opts.num_threads = 4;
+    const auto serial = model_kernels(
+        result.data, result.step_math_fn,
+        {aggregation::Metric::Time, aggregation::Metric::Visits},
+        modeling::ModelGenerator(serial_opts));
+    const auto parallel = model_kernels(
+        result.data, result.step_math_fn,
+        {aggregation::Metric::Time, aggregation::Metric::Visits},
+        modeling::ModelGenerator(parallel_opts));
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_GT(serial.size(), 30u);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        EXPECT_EQ(serial[i].metric, parallel[i].metric);
+        EXPECT_EQ(serial[i].model.to_string(), parallel[i].model.to_string());
+        EXPECT_EQ(serial[i].model.quality().cv_smape,
+                  parallel[i].model.quality().cv_smape);
+        EXPECT_EQ(serial[i].model.quality().fit_smape,
+                  parallel[i].model.quality().fit_smape);
+        EXPECT_EQ(serial[i].model.train_step_model().constant(),
+                  parallel[i].model.train_step_model().constant());
+    }
+}
+
 TEST(Integration, MeasuredKernelTotalsMatchModeledKernels) {
     const ExperimentRunner runner(small_spec());
     const ExperimentResult result = runner.run();

@@ -310,6 +310,84 @@ TEST(Fitter, ParamNamesAutofilled) {
     EXPECT_EQ(m.param_names()[1], "x2");
 }
 
+TEST(Fitter, EmptyParamNamesDefaultedEvenWhenCorrectlySized) {
+    // Regression: a correctly-sized vector of empty names used to pass
+    // through untouched, producing unlabeled models.
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        pts.push_back({x, x});
+        ys.push_back(x);
+    }
+    const PerformanceModel m = ModelGenerator().fit(pts, ys, {"", ""});
+    ASSERT_EQ(m.param_names().size(), 2u);
+    EXPECT_EQ(m.param_names()[0], "x1");
+    EXPECT_EQ(m.param_names()[1], "x2");
+    // Partially-named input keeps the given names and fills only the gaps.
+    const PerformanceModel m2 = ModelGenerator().fit(pts, ys, {"ranks", ""});
+    EXPECT_EQ(m2.param_names()[0], "ranks");
+    EXPECT_EQ(m2.param_names()[1], "x2");
+}
+
+TEST(Fitter, ExactInterpolationHypothesesAreExcluded) {
+    // Regression: with n == k the model interpolates exactly, fit_smape ~ 0,
+    // and the old fallback score (fit_smape * 4 + 1) collapsed to ~1 % for
+    // *every* richest hypothesis — beating genuinely cross-validated simpler
+    // models whose CV error exceeds 1 % and making the winner arbitrary.
+    // Exact-interpolation fits are now rejected, so with 3 noisy linear
+    // points the search must pick a cross-validatable model (<= 1 term), not
+    // a 2-term interpolator.
+    FitOptions opts;
+    opts.min_points = 3;
+    opts.space.max_terms = 2;
+    const std::vector<double> xs = {2, 4, 8};
+    const std::vector<double> ys = {3.2, 5.4, 8.7};  // noisy 1 + x
+    const PerformanceModel m = ModelGenerator(opts).fit(xs, ys);
+    EXPECT_LE(m.terms().size(), 1u);
+    // The selected model must stay sane under extrapolation instead of
+    // following an arbitrary interpolator.
+    EXPECT_GT(m.evaluate(64.0), 0.0);
+    EXPECT_LT(m.evaluate(64.0), 10.0 * (1.0 + 64.0));
+}
+
+TEST(Fitter, ExactLinearDataPinsLinearModelAtMinimumPoints) {
+    // With exactly linear data on 3 points, leave-one-out reproduces the
+    // third point exactly only for the linear hypothesis, so the selection
+    // is pinned: constant + x with cv_smape == 0.
+    FitOptions opts;
+    opts.min_points = 3;
+    opts.space.max_terms = 2;
+    const std::vector<double> xs = {2, 4, 8};
+    const std::vector<double> ys = {3, 5, 9};  // exactly 1 + x
+    const PerformanceModel m = ModelGenerator(opts).fit(xs, ys);
+    ASSERT_EQ(m.terms().size(), 1u);
+    EXPECT_EQ(m.dominant_growth(), (std::pair<double, int>{1.0, 0}));
+    EXPECT_NEAR(m.constant(), 1.0, 1e-8);
+    EXPECT_NEAR(m.terms()[0].coefficient, 1.0, 1e-8);
+    EXPECT_NEAR(m.quality().cv_smape, 0.0, 1e-8);
+}
+
+TEST(Fitter, DuplicateHypothesesAreSearchedOnce) {
+    // Regression: with a constant second parameter, every x2 hypothesis is
+    // rank deficient, so the multi-parameter generator re-emits the best x1
+    // single-term candidates as "additive" hypotheses — duplicates that used
+    // to inflate hypotheses_searched and waste fits.
+    std::vector<std::vector<double>> pts;
+    std::vector<double> ys;
+    for (const double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+        pts.push_back({x, 4.0});
+        ys.push_back(1.0 + 2.0 * x);
+    }
+    const ModelGenerator gen;
+    const PerformanceModel m = gen.fit(pts, ys, {"x1", "x2"});
+    const auto n_factors =
+        gen.options().space.single_parameter_factors(0).size();
+    // constant + one 1-term hypothesis per factor and per parameter; the
+    // re-emitted additive duplicates must not be counted (or fitted) again.
+    EXPECT_EQ(m.quality().hypotheses_searched,
+              static_cast<int>(1 + 2 * n_factors));
+}
+
 TEST(Fitter, DecreasingDataGetsNegativeTerm) {
     // Strong-scaling runtimes decrease; the model must follow.
     const auto ys = map_values(kXs, [](double x) { return 100.0 / x + 5.0; });
