@@ -1,0 +1,139 @@
+#include "extradeep/ingest.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace extradeep {
+
+std::string IngestResult::summary() const {
+    std::ostringstream os;
+    os << "kept " << runs_kept << "/" << runs_total << " runs, "
+       << configs_kept << "/" << configs_total << " configurations";
+    if (!diagnostics.empty()) {
+        os << "; " << diagnostics.summary();
+    }
+    return os.str();
+}
+
+IngestResult ingest_runs(
+    std::span<const std::vector<profiling::ProfiledRun>> configs,
+    const IngestOptions& options) {
+    IngestResult result;
+    result.data = aggregation::ExperimentData(options.primary_parameter);
+    result.configs_total = configs.size();
+    for (const auto& runs : configs) {
+        result.runs_total += runs.size();
+    }
+
+    aggregation::ExperimentVerdict verdict =
+        aggregation::validate_experiment(configs, options.validation);
+    result.diagnostics.merge(verdict.diagnostics);
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!verdict.keep_config[c]) {
+            continue;
+        }
+        std::vector<profiling::ProfiledRun> kept;
+        kept.reserve(configs[c].size());
+        for (std::size_t r = 0; r < configs[c].size(); ++r) {
+            if (verdict.keep_run[c][r]) {
+                kept.push_back(configs[c][r]);
+            }
+        }
+        // Validation guarantees aggregate_runs preconditions, but keep the
+        // drop-not-throw contract even if an invariant slips through.
+        try {
+            result.data.add(
+                aggregation::aggregate_runs(kept, options.aggregation));
+        } catch (const Error& e) {
+            result.diagnostics.add(
+                Severity::Error,
+                "configuration " + std::to_string(c) + " dropped: " + e.what());
+            continue;
+        }
+        result.configs_kept += 1;
+        result.runs_kept += kept.size();
+    }
+    return result;
+}
+
+IngestResult ingest_edp_files(std::span<const std::string> paths,
+                              const IngestOptions& options) {
+    profiling::EdpReadOptions read_options;
+    read_options.mode = options.mode;
+
+    DiagnosticLog parse_log;
+    std::size_t dropped_files = 0;
+    // Group runs by their full parameter map; map ordering makes the
+    // configuration order deterministic regardless of path order.
+    std::map<std::map<std::string, double>,
+             std::vector<profiling::ProfiledRun>>
+        groups;
+    for (const auto& path : paths) {
+        profiling::EdpReadResult parsed;
+        try {
+            parsed = profiling::read_edp_file(path, read_options);
+        } catch (const Error& e) {
+            // Strict mode rethrows: fail fast is the contract there.
+            if (options.mode == profiling::ParseMode::Strict) {
+                throw;
+            }
+            parse_log.add(Severity::Error, path + ": " + e.what());
+            ++dropped_files;
+            continue;
+        }
+        for (const auto& d : parsed.diagnostics.entries()) {
+            Diagnostic scoped = d;
+            scoped.reason = path + ": " + d.reason;
+            parse_log.add(std::move(scoped));
+        }
+        if (!parsed.ok()) {
+            parse_log.add(Severity::Error,
+                          path + ": file quarantined (" +
+                              parsed.diagnostics.summary() + ")");
+            ++dropped_files;
+            continue;
+        }
+        if (parsed.run.params.find(options.primary_parameter) ==
+            parsed.run.params.end()) {
+            parse_log.add(Severity::Error,
+                          path + ": run lacks primary parameter '" +
+                              options.primary_parameter + "'");
+            ++dropped_files;
+            continue;
+        }
+        groups[parsed.run.params].push_back(std::move(parsed.run));
+    }
+
+    std::vector<std::vector<profiling::ProfiledRun>> configs;
+    configs.reserve(groups.size());
+    for (auto& [params, runs] : groups) {
+        // Repetition order on disk is arbitrary; sort for reproducibility.
+        std::stable_sort(runs.begin(), runs.end(),
+                         [](const profiling::ProfiledRun& a,
+                            const profiling::ProfiledRun& b) {
+                             return a.repetition < b.repetition;
+                         });
+        configs.push_back(std::move(runs));
+    }
+    std::stable_sort(configs.begin(), configs.end(),
+                     [&](const auto& a, const auto& b) {
+                         return a.front().params.at(options.primary_parameter) <
+                                b.front().params.at(options.primary_parameter);
+                     });
+
+    IngestResult result = ingest_runs(configs, options);
+    result.runs_total += dropped_files;
+    // Parse diagnostics come first: they precede validation logically.
+    DiagnosticLog merged(DiagnosticLog::kDefaultCapacity);
+    merged.merge(parse_log);
+    merged.merge(result.diagnostics);
+    result.diagnostics = std::move(merged);
+    return result;
+}
+
+}  // namespace extradeep

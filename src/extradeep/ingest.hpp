@@ -1,0 +1,73 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aggregation/aggregate.hpp"
+#include "aggregation/experiment.hpp"
+#include "aggregation/validate.hpp"
+#include "profiling/edp_io.hpp"
+
+namespace extradeep {
+
+/// Robust ingestion: EDP files (or in-memory runs) -> validated, aggregated
+/// ExperimentData, degrading gracefully on dirty input.
+///
+/// This is the entry point for profiles that did not come from this
+/// process's own simulator - e.g. EDP exports collected on another machine,
+/// where truncated files, missing ranks, and corrupt records are routine.
+/// The pipeline is: tolerant parse (collect diagnostics, skip corrupt
+/// records) -> validate_run / validate_experiment (keep/drop verdicts) ->
+/// aggregate only the surviving repetitions -> ExperimentData over the
+/// surviving configurations. The paper's "kernel present in >= 5
+/// configurations" filter (ExperimentData::modelable_kernels) therefore
+/// operates on surviving data only, exactly as required.
+
+struct IngestOptions {
+    /// Parse mode for EDP input. Tolerant (the default) skips corrupt
+    /// records with diagnostics; Strict makes ingest_edp_files throw on the
+    /// first malformed file instead.
+    profiling::ParseMode mode = profiling::ParseMode::Tolerant;
+    aggregation::ExperimentValidationOptions validation;
+    aggregation::AggregationOptions aggregation;
+    /// Primary execution parameter configurations are keyed/ordered by.
+    std::string primary_parameter = "x1";
+};
+
+struct IngestResult {
+    aggregation::ExperimentData data;
+    DiagnosticLog diagnostics;
+    std::size_t runs_total = 0;
+    std::size_t runs_kept = 0;
+    std::size_t configs_total = 0;
+    std::size_t configs_kept = 0;
+
+    /// True if at least one configuration survived; modeling additionally
+    /// needs >= aggregation::kMinModelingPoints surviving configurations.
+    bool ok() const { return configs_kept > 0; }
+    bool modelable() const {
+        return configs_kept >=
+               static_cast<std::size_t>(aggregation::kMinModelingPoints);
+    }
+    /// "kept 18/20 runs, 4/5 configurations; 7 warnings"
+    std::string summary() const;
+};
+
+/// Ingests pre-grouped runs: one inner vector per measurement point (the
+/// repetitions of that point). Repetitions and configurations failing
+/// validation are dropped with diagnostics; configurations whose
+/// aggregation or registration fails (e.g. duplicate primary-parameter
+/// value, missing primary parameter) are likewise dropped, never thrown.
+IngestResult ingest_runs(
+    std::span<const std::vector<profiling::ProfiledRun>> configs,
+    const IngestOptions& options = {});
+
+/// Parses every file (tolerantly by default), groups the runs by their full
+/// parameter map into configurations ordered by the primary parameter, and
+/// delegates to ingest_runs. Unreadable or structurally broken files are
+/// dropped with Error diagnostics (in Tolerant mode; Strict mode throws).
+IngestResult ingest_edp_files(std::span<const std::string> paths,
+                              const IngestOptions& options = {});
+
+}  // namespace extradeep

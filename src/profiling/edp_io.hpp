@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/diagnostics.hpp"
 #include "profiling/profiler.hpp"
 
 namespace extradeep::profiling {
@@ -23,18 +24,64 @@ namespace extradeep::profiling {
 ///   ...
 ///   END
 ///
-/// Kernel names must not contain tab characters; write_edp enforces this.
+/// Kernel names must not contain tab/newline/carriage-return characters;
+/// both write_edp and read_edp enforce this (a hand-edited name containing a
+/// newline would desynchronise the line-based parser).
+///
+/// Numeric fields are validated at this boundary: NaN and infinity are
+/// rejected everywhere, and values that are semantically non-negative
+/// (times, durations, byte counts, visits, rank and repetition indices)
+/// must be >= 0. Nothing downstream of read_edp ever sees a non-finite
+/// metric.
+
+/// How read_edp reacts to malformed input. See DESIGN.md, "EDP
+/// error-handling contract".
+enum class ParseMode {
+    /// Throw ParseError on the first problem (the historical behaviour).
+    Strict,
+    /// Never throw on malformed *content*: skip corrupt records, quarantine
+    /// undecodable RANK blocks, and report everything as Diagnostics. On
+    /// clean input the result is identical to Strict mode.
+    Tolerant,
+};
+
+struct EdpReadOptions {
+    ParseMode mode = ParseMode::Strict;
+    /// Storage cap for collected diagnostics (counts keep accumulating).
+    std::size_t max_diagnostics = DiagnosticLog::kDefaultCapacity;
+};
+
+/// Outcome of a tolerant (or strict) parse.
+struct EdpReadResult {
+    ProfiledRun run;
+    DiagnosticLog diagnostics;
+
+    /// True if no Error-severity diagnostic was recorded, i.e. the run as a
+    /// whole is structurally sound (individual records may still have been
+    /// skipped with warnings). Callers should treat ok() == false runs as
+    /// quarantined: usable for inspection, not for modeling.
+    bool ok() const { return !diagnostics.has_errors(); }
+};
 
 /// Serialises a profiled run. Throws InvalidArgumentError on names
-/// containing tabs/newlines.
+/// containing tabs/newlines and Error if the stream write fails.
 void write_edp(std::ostream& os, const ProfiledRun& run);
 
-/// Parses a profiled run; throws ParseError on malformed input, including
-/// version mismatches and truncated files (missing END).
+/// Parses a profiled run in strict mode; throws ParseError on malformed
+/// input, including version mismatches, truncated files (missing END), and
+/// trailing data after END.
 ProfiledRun read_edp(std::istream& is);
 
-/// File-based convenience wrappers. Throw Error on I/O failure.
+/// Parses a profiled run under the given options. In Tolerant mode this
+/// never throws on malformed content; problems are returned as diagnostics
+/// instead. In Strict mode it behaves exactly like read_edp(is).
+EdpReadResult read_edp(std::istream& is, const EdpReadOptions& options);
+
+/// File-based convenience wrappers. Throw Error on I/O failure (in both
+/// modes: an unopenable file is an environment problem, not dirty data).
 void write_edp_file(const std::string& path, const ProfiledRun& run);
 ProfiledRun read_edp_file(const std::string& path);
+EdpReadResult read_edp_file(const std::string& path,
+                            const EdpReadOptions& options);
 
 }  // namespace extradeep::profiling

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aggregation/aggregate.hpp"
+#include "common/error.hpp"
+#include "extradeep/ingest.hpp"
+#include "profiling/edp_io.hpp"
+
+// Golden end-to-end fixture: a tiny simulated workload checked in as .edp
+// files (tests/data/golden/) together with its expected aggregation output,
+// so ingestion/aggregation regressions are caught without the simulator in
+// the loop. The numbers are hand-verifiable: see the per-file gemm step
+// durations in the fixtures and the medians in expected_aggregation.tsv.
+
+using namespace extradeep;
+
+namespace {
+
+std::string data_dir() { return std::string(EXTRADEEP_TEST_DATA_DIR) + "/golden"; }
+
+std::vector<std::string> good_files() {
+    return {
+        data_dir() + "/golden_x2_rep0.edp",
+        data_dir() + "/golden_x2_rep1.edp",
+        data_dir() + "/golden_x4_rep0.edp",
+        data_dir() + "/golden_x4_rep1.edp",
+    };
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', pos);
+        if (tab == std::string::npos) {
+            out.push_back(line.substr(pos));
+            break;
+        }
+        out.push_back(line.substr(pos, tab - pos));
+        pos = tab + 1;
+    }
+    return out;
+}
+
+trace::Phase parse_phase(const std::string& name) {
+    if (name == "computation") return trace::Phase::Computation;
+    if (name == "communication") return trace::Phase::Communication;
+    if (name == "memory ops") return trace::Phase::MemoryOp;
+    throw InvalidArgumentError("unknown phase: " + name);
+}
+
+void check_against_expected(const aggregation::ExperimentData& data) {
+    std::ifstream expected(data_dir() + "/expected_aggregation.tsv");
+    ASSERT_TRUE(expected.good());
+    std::string line;
+    int rows = 0;
+    while (std::getline(expected, line)) {
+        if (line.empty()) continue;
+        const auto f = split_tabs(line);
+        ++rows;
+        const double x1 = std::stod(f[1]);
+        const aggregation::ConfigurationData* config = data.find(x1);
+        ASSERT_NE(config, nullptr) << "missing configuration x1=" << x1;
+        if (f[0] == "K") {
+            ASSERT_EQ(f.size(), 10u) << line;
+            const aggregation::KernelStats* k = config->find_kernel(f[2]);
+            ASSERT_NE(k, nullptr) << "missing kernel " << f[2];
+            EXPECT_EQ(trace::category_name(k->category), f[3]) << line;
+            for (int m = 0; m < 3; ++m) {
+                EXPECT_DOUBLE_EQ(k->train[m], std::stod(f[4 + m])) << line;
+                EXPECT_DOUBLE_EQ(k->val[m], std::stod(f[7 + m])) << line;
+            }
+        } else if (f[0] == "PH") {
+            ASSERT_EQ(f.size(), 5u) << line;
+            const trace::Phase phase = parse_phase(f[2]);
+            EXPECT_DOUBLE_EQ(config->phase_metric(
+                                 phase, aggregation::Metric::Time, true),
+                             std::stod(f[3]))
+                << line;
+            EXPECT_DOUBLE_EQ(config->phase_metric(
+                                 phase, aggregation::Metric::Time, false),
+                             std::stod(f[4]))
+                << line;
+        } else {
+            FAIL() << "unknown expected-row tag: " << line;
+        }
+    }
+    EXPECT_EQ(rows, 12);
+}
+
+}  // namespace
+
+TEST(EdpGolden, StrictParseAndAggregateMatchesExpected) {
+    // The regression core: strict-parse the checked-in files, aggregate per
+    // configuration, compare every kernel median and phase total.
+    aggregation::ExperimentData data("x1");
+    for (const double x1 : {2.0, 4.0}) {
+        std::vector<profiling::ProfiledRun> runs;
+        for (int rep = 0; rep < 2; ++rep) {
+            std::ostringstream path;
+            path << data_dir() << "/golden_x" << static_cast<int>(x1) << "_rep"
+                 << rep << ".edp";
+            runs.push_back(profiling::read_edp_file(path.str()));
+        }
+        data.add(aggregation::aggregate_runs(runs));
+    }
+    check_against_expected(data);
+}
+
+TEST(EdpGolden, IngestPipelineMatchesExpected) {
+    // Same expectations through the full tolerant ingestion pipeline.
+    const IngestResult result = ingest_edp_files(good_files());
+    EXPECT_EQ(result.configs_kept, 2u);
+    EXPECT_EQ(result.runs_kept, 4u);
+    EXPECT_FALSE(result.diagnostics.has_errors());
+    check_against_expected(result.data);
+}
+
+TEST(EdpGolden, CorruptFileIsDroppedWithoutChangingResults) {
+    // Adding a truncated, NaN-ridden file must not perturb the surviving
+    // aggregation in any bit, only add diagnostics.
+    std::vector<std::string> files = good_files();
+    files.push_back(data_dir() + "/golden_corrupt.edp");
+    const IngestResult result = ingest_edp_files(files);
+    EXPECT_EQ(result.configs_kept, 2u);
+    EXPECT_EQ(result.runs_kept, 4u);
+    EXPECT_EQ(result.runs_total, 5u);
+    EXPECT_TRUE(result.diagnostics.has_errors());
+    EXPECT_EQ(result.data.find(6.0), nullptr);
+    check_against_expected(result.data);
+}
+
+TEST(EdpGolden, CorruptFileAloneYieldsNoConfigurations) {
+    const std::vector<std::string> files = {data_dir() +
+                                            "/golden_corrupt.edp"};
+    const IngestResult result = ingest_edp_files(files);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.configs_kept, 0u);
+    EXPECT_TRUE(result.diagnostics.has_errors());
+}
+
+TEST(EdpGolden, KernelsSeenInBothConfigsAreModelable) {
+    const IngestResult result = ingest_edp_files(good_files());
+    const auto modelable = result.data.modelable_kernels(2);
+    ASSERT_EQ(modelable.size(), 3u);
+    EXPECT_EQ(modelable[0], "allreduce");
+    EXPECT_EQ(modelable[1], "gemm");
+    EXPECT_EQ(modelable[2], "h2d");
+}

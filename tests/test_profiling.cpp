@@ -193,3 +193,194 @@ TEST(EdpIo, EmptyRunRoundTrips) {
     EXPECT_EQ(back.repetition, 7);
     EXPECT_TRUE(back.ranks.empty());
 }
+
+namespace {
+
+EdpReadResult tolerant_parse(const std::string& text) {
+    std::istringstream is(text);
+    EdpReadOptions options;
+    options.mode = ParseMode::Tolerant;
+    return read_edp(is, options);
+}
+
+const char* const kCleanEdp =
+    "EDP\t1\n"
+    "P\tx1\t4\n"
+    "REP\t0\n"
+    "WALL\t2.5\n"
+    "RANK\t0\n"
+    "M\tepoch_start\t0\t-1\ttrain\t0\n"
+    "M\tepoch_end\t0\t-1\ttrain\t2\n"
+    "E\tgemm\tCUDA kernel\t0.5\t0.25\t3\t0\n"
+    "END\n";
+
+}  // namespace
+
+TEST(EdpTolerant, SkipsCorruptEventLineAndKeepsTheRest) {
+    const EdpReadResult result = tolerant_parse(
+        "EDP\t1\n"
+        "P\tx1\t4\n"
+        "REP\t0\n"
+        "WALL\t2.5\n"
+        "RANK\t0\n"
+        "E\tgemm\tCUDA kernel\tabc\t0.25\t3\t0\n"
+        "E\tgemm\tCUDA kernel\t0.5\t0.25\t3\t0\n"
+        "END\n");
+    EXPECT_TRUE(result.ok()) << result.diagnostics.summary();
+    EXPECT_EQ(result.diagnostics.count(Severity::Warning), 1u);
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    ASSERT_EQ(result.run.ranks[0].events.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events[0].start, 0.5);
+    const auto& d = result.diagnostics.entries()[0];
+    EXPECT_EQ(d.line, 6);
+    EXPECT_EQ(d.rank, 0);
+}
+
+TEST(EdpTolerant, DuplicateRankBlockIsQuarantined) {
+    const std::string text =
+        "EDP\t1\n"
+        "RANK\t0\n"
+        "E\tgemm\tCUDA kernel\t0.5\t0.25\t3\t0\n"
+        "RANK\t0\n"
+        "E\tother\tCUDA kernel\t1\t1\t1\t0\n"
+        "END\n";
+    const EdpReadResult result = tolerant_parse(text);
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    ASSERT_EQ(result.run.ranks[0].events.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events[0].name, "gemm");
+    EXPECT_GE(result.diagnostics.count(Severity::Warning), 1u);
+    EXPECT_GE(result.diagnostics.count(Severity::Info), 1u);
+
+    std::istringstream is(text);
+    EXPECT_THROW(read_edp(is), ParseError);
+}
+
+TEST(EdpTolerant, BadRankHeaderQuarantinesBlockThenRecovers) {
+    const EdpReadResult result = tolerant_parse(
+        "EDP\t1\n"
+        "RANK\tabc\n"
+        "M\tepoch_start\t0\t-1\ttrain\t0\n"
+        "E\tlost\tCUDA kernel\t0\t1\t1\t0\n"
+        "RANK\t1\n"
+        "E\tkept\tCUDA kernel\t0\t1\t1\t0\n"
+        "END\n");
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].rank, 1);
+    ASSERT_EQ(result.run.ranks[0].events.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events[0].name, "kept");
+    // One warning for the header, one for the first quarantined record, one
+    // info summarising the quarantined block.
+    EXPECT_EQ(result.diagnostics.count(Severity::Warning), 2u);
+    EXPECT_EQ(result.diagnostics.count(Severity::Info), 1u);
+}
+
+TEST(EdpStrict, RejectsNonFiniteAndNegativeMetrics) {
+    const char* const bad_lines[] = {
+        "E\tk\tCUDA kernel\t0\tnan\t1\t0",    // NaN duration
+        "E\tk\tCUDA kernel\t-1\t1\t1\t0",     // negative start
+        "E\tk\tCUDA kernel\t0\t1\t1\tinf",    // infinite bytes
+        "E\tk\tCUDA kernel\t0\t1\t-3\t0",     // negative visits
+        "M\tepoch_start\t-1\t-1\ttrain\t0",   // negative epoch
+        "M\tstep_start\t0\t-2\ttrain\t0",     // step below -1
+        "M\tstep_start\t0\t0\ttrain\tinf",    // non-finite mark time
+        "WALL\t-1",                           // negative wall time
+        "REP\t-1",                            // negative repetition
+        "RANK\t-1",                           // negative rank id
+    };
+    for (const char* bad : bad_lines) {
+        std::stringstream s("EDP\t1\nRANK\t0\n" + std::string(bad) + "\nEND\n");
+        EXPECT_THROW(read_edp(s), ParseError) << bad;
+    }
+}
+
+TEST(EdpStrict, RejectsTrailingDataAfterEnd) {
+    std::stringstream s(std::string(kCleanEdp) + "E\tk\tMPI\t0\t1\t1\t0\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpTolerant, WarnsOnTrailingDataAfterEnd) {
+    const EdpReadResult result =
+        tolerant_parse(std::string(kCleanEdp) + "E\tk\tMPI\t0\t1\t1\t0\n");
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.diagnostics.count(Severity::Warning), 1u);
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events.size(), 1u);  // trailing E ignored
+}
+
+TEST(EdpIo, RejectsCarriageReturnInNameOnBothPaths) {
+    ProfiledRun run;
+    trace::RankTrace t;
+    trace::TraceEvent e;
+    e.name = "bad\rname";
+    t.events.push_back(e);
+    run.ranks.push_back(t);
+    std::stringstream w;
+    EXPECT_THROW(write_edp(w, run), InvalidArgumentError);
+
+    // Mid-line CR is not CRLF tolerance; the read path rejects it too.
+    std::stringstream r(
+        "EDP\t1\nRANK\t0\nE\tbad\rname\tCUDA kernel\t0\t1\t1\t0\nEND\n");
+    EXPECT_THROW(read_edp(r), ParseError);
+}
+
+TEST(EdpIo, ParsesCrlfLineEndings) {
+    std::string crlf(kCleanEdp);
+    std::string::size_type pos = 0;
+    while ((pos = crlf.find('\n', pos)) != std::string::npos) {
+        crlf.replace(pos, 1, "\r\n");
+        pos += 2;
+    }
+    std::stringstream s(crlf);
+    const ProfiledRun run = read_edp(s);
+    ASSERT_EQ(run.ranks.size(), 1u);
+    EXPECT_EQ(run.ranks[0].events[0].name, "gemm");
+    EXPECT_EQ(run.params.at("x1"), 4.0);
+}
+
+TEST(EdpTolerant, EmptyInputIsAnError) {
+    const EdpReadResult result = tolerant_parse("");
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(EdpTolerant, MissingHeaderSalvagesRecordsButQuarantinesRun) {
+    const EdpReadResult result = tolerant_parse(
+        "P\tx1\t4\n"
+        "RANK\t0\n"
+        "E\tgemm\tCUDA kernel\t0.5\t0.25\t3\t0\n"
+        "END\n");
+    EXPECT_FALSE(result.ok());  // header loss makes the file untrustworthy
+    EXPECT_EQ(result.run.params.at("x1"), 4.0);  // still salvaged
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events.size(), 1u);
+}
+
+TEST(EdpTolerant, MissingEndIsAnErrorButDataIsKept) {
+    const EdpReadResult result = tolerant_parse(
+        "EDP\t1\n"
+        "RANK\t0\n"
+        "E\tgemm\tCUDA kernel\t0.5\t0.25\t3\t0\n");
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.run.ranks.size(), 1u);
+    EXPECT_EQ(result.run.ranks[0].events.size(), 1u);
+}
+
+TEST(EdpStrict, RejectsMalformedEndLine) {
+    std::stringstream s("EDP\t1\nEND\textra\n");
+    EXPECT_THROW(read_edp(s), ParseError);
+}
+
+TEST(EdpTolerant, OrphanRecordsBeforeAnyRankAreCounted) {
+    const EdpReadResult result = tolerant_parse(
+        "EDP\t1\n"
+        "M\tepoch_start\t0\t-1\ttrain\t0\n"
+        "E\tk\tCUDA kernel\t0\t1\t1\t0\n"
+        "RANK\t0\n"
+        "END\n");
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.run.ranks.size(), 1u);
+    EXPECT_TRUE(result.run.ranks[0].events.empty());
+    EXPECT_EQ(result.diagnostics.count(Severity::Warning), 1u);
+    EXPECT_EQ(result.diagnostics.count(Severity::Info), 1u);
+}
