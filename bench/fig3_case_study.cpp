@@ -65,12 +65,17 @@ int main() {
         const double err = 100.0 * std::abs(ci.prediction - reference) /
                            reference;
         (modeling ? accuracy_errors : prediction_errors).push_back(err);
+        // Built with += because `"[" + std::string&&` trips GCC 12's
+        // -Wrestrict false positive (PR 105651) under -Werror.
+        std::string interval = "[";
+        interval += fmtx::fixed(ci.lower, 1);
+        interval += ", ";
+        interval += fmtx::fixed(ci.upper, 1);
+        interval += "]";
         table.add_row(
             {std::to_string(x), modeling ? "model" : "eval",
              fmtx::fixed(ci.prediction, 2), fmtx::fixed(reference, 2),
-             fmtx::percent(err),
-             "[" + fmtx::fixed(ci.lower, 1) + ", " + fmtx::fixed(ci.upper, 1) +
-                 "]",
+             fmtx::percent(err), interval,
              (reference >= ci.lower && reference <= ci.upper) ? "yes" : "no",
              fmtx::percent(stats::run_to_run_variation(reps))});
     };

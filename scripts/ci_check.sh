@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full local CI sweep: both build presets, both test tiers, and the
+# end-to-end accuracy gate. Run from anywhere; everything is rooted at the
+# repository top level. Any failure aborts the script (set -e).
+#
+#   scripts/ci_check.sh            # default + sanitize builds, tests, gate
+#   SKIP_SANITIZE=1 scripts/ci_check.sh   # quick pre-push variant
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/4] Release build + full test suite =="
+cmake --preset default
+cmake --build --preset default -j "${jobs}"
+ctest --preset default -j "${jobs}"
+
+echo "== [2/4] Accuracy harness (quick suite + calibrated thresholds) =="
+./build/src/eval/extradeep-eval --quick \
+    --thresholds "${repo_root}/eval_thresholds.json"
+
+if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
+    echo "== [3/4] ASan+UBSan build + sanitize_smoke suite =="
+    cmake --preset sanitize
+    cmake --build --preset sanitize -j "${jobs}"
+    ctest --preset sanitize-smoke -j "${jobs}"
+
+    echo "== [4/4] Accuracy harness under sanitizers =="
+    ./build-sanitize/src/eval/extradeep-eval --quick \
+        --thresholds "${repo_root}/eval_thresholds.json"
+else
+    echo "== [3-4/4] skipped (SKIP_SANITIZE=1) =="
+fi
+
+echo "ci_check: all green"

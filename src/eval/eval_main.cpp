@@ -1,0 +1,221 @@
+// extradeep-eval: the ground-truth accuracy harness.
+//
+// Draws known PMNF functions (the synthetic oracle), materialises them into
+// full profiled experiments with controlled multiplicative noise, round-trips
+// them through the on-disk EDP format, and scores the complete pipeline -
+// ingest -> validate -> aggregate -> ModelGenerator -> analysis - against the
+// known ground truth. Emits a human table plus the machine-readable
+// BENCH_eval.json records, and optionally enforces eval_thresholds.json
+// (the `eval_accuracy_gate` ctest).
+//
+// Usage:
+//   extradeep-eval                         # full suite
+//   extradeep-eval --quick                 # gate subset (fast)
+//   extradeep-eval --case linear --case log
+//   extradeep-eval --noise 0,0.05 --seed 7
+//   extradeep-eval --out BENCH_eval.json
+//   extradeep-eval --thresholds eval_thresholds.json   # exit 1 on violation
+//   extradeep-eval --list
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "eval/oracle.hpp"
+#include "eval/report.hpp"
+#include "eval/scorer.hpp"
+
+using namespace extradeep;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick] [--case NAME]... [--noise S1,S2,...] [--seed N]\n"
+        "          [--threads N] [--out FILE] [--thresholds FILE]\n"
+        "          [--keep-files] [--list]\n",
+        argv0);
+}
+
+std::vector<double> parse_noise_list(const std::string& arg) {
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::string token =
+            arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (token.empty()) {
+            throw InvalidArgumentError("--noise: empty entry in '" + arg + "'");
+        }
+        std::size_t used = 0;
+        const double v = std::stod(token, &used);
+        if (used != token.size() || v < 0.0) {
+            throw InvalidArgumentError("--noise: bad sigma '" + token + "'");
+        }
+        out.push_back(v);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Best-effort git revision for the BENCH_eval.json trajectory.
+std::string git_revision() {
+    std::string rev = "unknown";
+    if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+            std::string s(buf);
+            while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+                s.pop_back();
+            }
+            if (!s.empty()) {
+                rev = s;
+            }
+        }
+        pclose(p);
+    }
+    return rev;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool list = false;
+    bool keep_files = false;
+    std::vector<std::string> only_cases;
+    std::vector<double> noise_levels;
+    std::string out_path;
+    std::string thresholds_path;
+    eval::ScoreOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                throw InvalidArgumentError(std::string(flag) +
+                                           " requires a value");
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--quick") {
+                quick = true;
+            } else if (arg == "--list") {
+                list = true;
+            } else if (arg == "--keep-files") {
+                keep_files = true;
+            } else if (arg == "--case") {
+                only_cases.push_back(next_value("--case"));
+            } else if (arg == "--noise") {
+                noise_levels = parse_noise_list(next_value("--noise"));
+            } else if (arg == "--seed") {
+                options.seed = std::stoull(next_value("--seed"));
+            } else if (arg == "--threads") {
+                options.fit_threads = std::stoi(next_value("--threads"));
+            } else if (arg == "--out") {
+                out_path = next_value("--out");
+            } else if (arg == "--thresholds") {
+                thresholds_path = next_value("--thresholds");
+            } else if (arg == "-h" || arg == "--help") {
+                usage(argv[0]);
+                return 0;
+            } else {
+                std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+                usage(argv[0]);
+                return 2;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+    options.keep_files = keep_files;
+
+    try {
+        std::vector<eval::OracleCase> cases =
+            quick ? eval::quick_oracle_cases() : eval::default_oracle_cases();
+        if (!only_cases.empty()) {
+            std::vector<eval::OracleCase> filtered;
+            for (auto& c : eval::default_oracle_cases()) {
+                for (const auto& want : only_cases) {
+                    if (c.name == want) {
+                        filtered.push_back(std::move(c));
+                        break;
+                    }
+                }
+            }
+            if (filtered.size() != only_cases.size()) {
+                std::fprintf(stderr, "error: unknown case name in --case\n");
+                return 2;
+            }
+            cases = std::move(filtered);
+        }
+        if (list) {
+            for (const auto& c : cases) {
+                std::printf("%-18s %zu params, %zu points: %s\n",
+                            c.name.c_str(), c.num_params(), c.points.size(),
+                            c.truth.to_string().c_str());
+            }
+            return 0;
+        }
+        if (noise_levels.empty()) {
+            noise_levels = quick ? std::vector<double>{0.0, 0.05}
+                                 : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+        }
+
+        const std::vector<eval::CaseScore> scores =
+            eval::score_suite(cases, noise_levels, options);
+        std::printf("%s\n", eval::render_table(scores).c_str());
+        for (const auto& s : scores) {
+            if (!s.exact_recovery) {
+                std::printf("note: %s @ noise %.3f fitted [%s], truth [%s]\n",
+                            s.case_name.c_str(), s.noise, s.fitted_str.c_str(),
+                            s.truth_str.c_str());
+            }
+        }
+
+        const std::vector<eval::MetricRecord> records = eval::to_records(scores);
+        if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             out_path.c_str());
+                return 2;
+            }
+            out << eval::bench_json(records, git_revision());
+            std::printf("wrote %zu records to %s\n", records.size(),
+                        out_path.c_str());
+        }
+
+        if (!thresholds_path.empty()) {
+            const auto thresholds =
+                eval::load_thresholds_file(thresholds_path);
+            const eval::GateResult gate =
+                eval::check_gate(records, thresholds);
+            std::printf("gate: %zu rules, %zu records matched\n",
+                        gate.rules_checked, gate.records_matched);
+            if (!gate.pass) {
+                for (const auto& v : gate.violations) {
+                    std::fprintf(stderr, "GATE VIOLATION: %s\n", v.c_str());
+                }
+                std::fprintf(stderr, "accuracy gate FAILED (%zu violations)\n",
+                             gate.violations.size());
+                return 1;
+            }
+            std::printf("accuracy gate passed\n");
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

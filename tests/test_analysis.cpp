@@ -226,3 +226,184 @@ TEST(ConfigSearch, Validation) {
                                             parallel::ScalingMode::Weak),
                  InvalidArgumentError);
 }
+
+// ---------------------------------------------------------------------------
+// Property tests for the analysis equations (Eqs. 11-14): invariants that
+// must hold for any measurement sweep, checked on seeded pseudo-random
+// inputs, plus the exact error behaviour on degenerate inputs.
+
+#include "common/rng.hpp"
+
+namespace {
+
+/// A reproducible strong-scaling-ish sweep: increasing ranks, positive
+/// runtimes with bounded jitter around c/x + overhead.
+struct Sweep {
+    std::vector<double> ranks;
+    std::vector<double> runtimes;
+};
+
+Sweep random_sweep(std::uint64_t seed) {
+    extradeep::Rng rng(seed);
+    Sweep s;
+    double x = 1.0 + 3.0 * rng.uniform01();
+    for (int i = 0; i < 6; ++i) {
+        s.ranks.push_back(x);
+        const double ideal = 500.0 / x + 5.0;
+        s.runtimes.push_back(ideal * rng.lognormal_factor(0.1));
+        x *= 1.5 + rng.uniform01();
+    }
+    return s;
+}
+
+}  // namespace
+
+TEST(SpeedupProperty, BaselineNeutralAndScaleInvariant) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Sweep s = random_sweep(seed);
+        const auto d = speedups(s.runtimes);
+        ASSERT_EQ(d.size(), s.runtimes.size());
+        EXPECT_DOUBLE_EQ(d[0], 0.0) << "Eq. 11: baseline speedup is 0";
+        // Eq. 11 is equivalent to 100 * (1 - T_k/T_1).
+        for (std::size_t k = 0; k < d.size(); ++k) {
+            EXPECT_NEAR(d[k], 100.0 * (1.0 - s.runtimes[k] / s.runtimes[0]),
+                        1e-9);
+            EXPECT_LT(d[k], 100.0) << "finite runtimes cap speedup below 100%";
+        }
+        // Rescaling all runtimes (a unit change) must not move speedups.
+        std::vector<double> scaled = s.runtimes;
+        for (double& t : scaled) t *= 42.0;
+        const auto d2 = speedups(scaled);
+        for (std::size_t k = 0; k < d.size(); ++k) {
+            EXPECT_NEAR(d[k], d2[k], 1e-9);
+        }
+    }
+}
+
+TEST(EfficiencyProperty, ConsistentWithSpeedupRatio) {
+    // Eq. 13 is exactly (actual speedup) / (theoretical speedup): the three
+    // quantities must satisfy the identity at every non-baseline point.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Sweep s = random_sweep(seed);
+        const auto e = efficiencies(s.ranks, s.runtimes);
+        const auto d = speedups(s.runtimes);
+        EXPECT_DOUBLE_EQ(e[0], 100.0) << "Eq. 13: baseline efficiency is 100%";
+        for (std::size_t k = 1; k < e.size(); ++k) {
+            const double delta_t =
+                (s.ranks[k] - s.ranks[0]) / (s.ranks[0] / 100.0);
+            EXPECT_NEAR(e[k] * delta_t, 100.0 * d[k], 1e-6);
+        }
+    }
+}
+
+TEST(EfficiencyProperty, PerfectStrongScalingGivesKnownValues) {
+    // T = c/x: Eq. 13 efficiency collapses to 100 * x1 / xk, the classic
+    // efficiency stays pinned at 100 - and Eq. 13 never exceeds classic on
+    // non-superlinear data.
+    const std::vector<double> ranks = {2, 4, 8, 16, 32};
+    std::vector<double> runtimes;
+    for (const double x : ranks) runtimes.push_back(640.0 / x);
+    const auto e = efficiencies(ranks, runtimes);
+    const auto c = classic_efficiencies(ranks, runtimes);
+    for (std::size_t k = 0; k < ranks.size(); ++k) {
+        EXPECT_NEAR(e[k], 100.0 * ranks[0] / ranks[k], 1e-9);
+        EXPECT_NEAR(c[k], 100.0, 1e-9);
+        EXPECT_LE(e[k], c[k] + 1e-9);
+    }
+}
+
+TEST(EfficiencyProperty, ClassicBoundedByScalingRegime) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Sweep s = random_sweep(seed);
+        const auto c = classic_efficiencies(s.ranks, s.runtimes);
+        EXPECT_DOUBLE_EQ(c[0], 100.0);
+        for (std::size_t k = 0; k < c.size(); ++k) {
+            EXPECT_GT(c[k], 0.0) << "positive inputs give positive efficiency";
+            // Sublinear speedup (T_k >= T_1 * x_1 / x_k) iff efficiency <= 100.
+            const double ideal = s.runtimes[0] * s.ranks[0] / s.ranks[k];
+            if (s.runtimes[k] >= ideal) {
+                EXPECT_LE(c[k], 100.0 + 1e-9);
+            } else {
+                EXPECT_GT(c[k], 100.0 - 1e-9);
+            }
+        }
+    }
+}
+
+TEST(CostProperty, NonNegativeAndLinearInRho) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Sweep s = random_sweep(seed);
+        for (std::size_t k = 0; k < s.ranks.size(); ++k) {
+            const double c8 =
+                training_cost_core_hours(s.runtimes[k], s.ranks[k], 8.0);
+            const double c16 =
+                training_cost_core_hours(s.runtimes[k], s.ranks[k], 16.0);
+            const double c24 =
+                training_cost_core_hours(s.runtimes[k], s.ranks[k], 24.0);
+            EXPECT_GE(c8, 0.0);
+            // Eq. 14 is linear in rho: additive and homogeneous.
+            EXPECT_NEAR(c24, c8 + c16, 1e-9);
+            EXPECT_NEAR(c16, 2.0 * c8, 1e-9);
+            // And linear in runtime.
+            EXPECT_NEAR(training_cost_core_hours(2.0 * s.runtimes[k],
+                                                 s.ranks[k], 8.0),
+                        2.0 * c8, 1e-9);
+        }
+    }
+}
+
+TEST(AnalysisDegenerate, SingleConfiguration) {
+    // One measurement point is a valid (if useless) sweep: baseline values.
+    EXPECT_EQ(speedups(std::vector<double>{10.0}),
+              std::vector<double>{0.0});
+    EXPECT_EQ(efficiencies(std::vector<double>{4.0},
+                           std::vector<double>{10.0}),
+              std::vector<double>{100.0});
+    EXPECT_EQ(classic_efficiencies(std::vector<double>{4.0},
+                                   std::vector<double>{10.0}),
+              std::vector<double>{100.0});
+}
+
+TEST(AnalysisDegenerate, RepeatedRanksFallBackToFullEfficiency) {
+    // Identical rank counts make the theoretical speedup 0; Eq. 13 defines
+    // the ratio as 100% rather than dividing by zero.
+    const auto e = efficiencies(std::vector<double>{4.0, 4.0},
+                                std::vector<double>{10.0, 12.0});
+    EXPECT_DOUBLE_EQ(e[1], 100.0);
+}
+
+TEST(AnalysisDegenerate, ZeroAndNegativeInputsErrorExplicitly) {
+    // Zero baseline runtime: speedup undefined -> throw, for both Eq. 11
+    // directly and Eq. 13 through it.
+    EXPECT_THROW(speedups(std::vector<double>{0.0, 1.0}),
+                 InvalidArgumentError);
+    EXPECT_THROW(efficiencies(std::vector<double>{2.0, 4.0},
+                              std::vector<double>{0.0, 1.0}),
+                 InvalidArgumentError);
+    EXPECT_THROW(efficiencies(std::vector<double>{0.0, 4.0},
+                              std::vector<double>{1.0, 1.0}),
+                 InvalidArgumentError);
+    // Classic efficiency rejects any non-positive measurement, not just the
+    // baseline.
+    EXPECT_THROW(classic_efficiencies(std::vector<double>{2.0, 4.0},
+                                      std::vector<double>{1.0, 0.0}),
+                 InvalidArgumentError);
+    EXPECT_THROW(classic_efficiencies(std::vector<double>{2.0, -4.0},
+                                      std::vector<double>{1.0, 1.0}),
+                 InvalidArgumentError);
+    // Eq. 14: zero runtime is a legal zero cost, negative inputs are not.
+    EXPECT_DOUBLE_EQ(training_cost_core_hours(0.0, 4.0, 8.0), 0.0);
+    EXPECT_THROW(training_cost_core_hours(-1.0, 4.0, 8.0),
+                 InvalidArgumentError);
+    EXPECT_THROW(training_cost_core_hours(1.0, 4.0, 0.0),
+                 InvalidArgumentError);
+    // Size mismatches never silently truncate.
+    EXPECT_THROW(efficiencies(std::vector<double>{2.0},
+                              std::vector<double>{1.0, 2.0}),
+                 InvalidArgumentError);
+    EXPECT_THROW(classic_efficiencies(std::vector<double>{2.0},
+                                      std::vector<double>{1.0, 2.0}),
+                 InvalidArgumentError);
+    EXPECT_THROW(model_cost({2.0, 4.0}, {1.0}, core_hours_cost(8.0)),
+                 InvalidArgumentError);
+}

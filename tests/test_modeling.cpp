@@ -422,3 +422,81 @@ TEST(Fitter, NegativeExponentsOffByDefault) {
     }
     EXPECT_TRUE(has_negative);
 }
+
+// ---------------------------------------------------------------------------
+// Selection-score behaviour: the parsimony bias and the leave-one-out CV
+// score that drive hypothesis selection (paper Sec. 2.3.1).
+
+TEST(Selection, TermPenaltyPrefersSimplerHypothesisOnNearTie) {
+    // A weak trend buried in alternating jitter: the linear hypothesis
+    // scores a slightly better (but nonzero) cv_smape than the constant
+    // one. With the penalty disabled the fitter must chase that margin;
+    // with a strong penalty the constant hypothesis must win. This pins
+    // the *direction* of the parsimony bias - a regression that flipped
+    // the score to cv_smape / (1 + p*#terms) or dropped the term count
+    // would invert one of the two outcomes. (The trend must not be exactly
+    // representable, or the winning cv_smape would be 0 and a
+    // multiplicative penalty could never flip the choice.)
+    const std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+    std::vector<double> ys;
+    double sign = 1.0;
+    for (const double x : xs) {
+        ys.push_back(100.0 + 0.05 * x + sign * 0.3);
+        sign = -sign;
+    }
+
+    FitOptions greedy;
+    greedy.term_penalty = 0.0;
+    const auto complex_fit = ModelGenerator(greedy).fit(xs, ys);
+    EXPECT_FALSE(complex_fit.terms().empty())
+        << "without a penalty the marginally better non-constant hypothesis "
+           "must be selected: " << complex_fit.to_string();
+
+    FitOptions parsimonious;
+    parsimonious.term_penalty = 10.0;
+    const auto simple_fit = ModelGenerator(parsimonious).fit(xs, ys);
+    EXPECT_TRUE(simple_fit.terms().empty())
+        << "a strong penalty must make the constant hypothesis win: "
+        << simple_fit.to_string();
+    // The constant hypothesis fits the data mean: 100 + 0.05 * mean(xs).
+    EXPECT_NEAR(simple_fit.constant(), 101.05, 0.01);
+
+    // The default mild penalty must not override a *real* improvement:
+    // clearly linear data still selects a linear term.
+    std::vector<double> linear_ys;
+    for (const double x : xs) linear_ys.push_back(100.0 + 5.0 * x);
+    const auto default_fit = ModelGenerator().fit(xs, linear_ys);
+    ASSERT_EQ(default_fit.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(default_fit.terms()[0].factors[0].poly_exp, 1.0);
+    EXPECT_EQ(default_fit.terms()[0].factors[0].log_exp, 0);
+}
+
+TEST(Selection, LeaveOneOutCvIsZeroOnExactData) {
+    // y = 3 + 2x is inside the hypothesis space, so every leave-one-out
+    // refit reproduces the held-out point exactly: cv_smape ~ 0 and the
+    // exact exponents are recovered with the exact coefficients.
+    const std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+    std::vector<double> ys;
+    for (const double x : xs) ys.push_back(3.0 + 2.0 * x);
+    const auto m = ModelGenerator().fit(xs, ys);
+    ASSERT_EQ(m.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(m.terms()[0].factors[0].poly_exp, 1.0);
+    EXPECT_EQ(m.terms()[0].factors[0].log_exp, 0);
+    EXPECT_NEAR(m.constant(), 3.0, 1e-6);
+    EXPECT_NEAR(m.terms()[0].coefficient, 2.0, 1e-6);
+    EXPECT_NEAR(m.quality().cv_smape, 0.0, 1e-6);
+    EXPECT_NEAR(m.quality().fit_smape, 0.0, 1e-6);
+    EXPECT_NEAR(m.quality().r_squared, 1.0, 1e-9);
+}
+
+TEST(Selection, CvScoreSeparatesInAndOutOfSpaceShapes) {
+    // 1/x is outside the PMNF search space: its cv_smape must stay clearly
+    // above the in-space linear case's, making the score a meaningful
+    // ranking signal rather than a constant.
+    const std::vector<double> xs = {2, 4, 8, 16, 32, 64};
+    std::vector<double> inv_ys;
+    for (const double x : xs) inv_ys.push_back(100.0 / x);
+    const auto inv_fit = ModelGenerator().fit(xs, inv_ys);
+    EXPECT_GT(inv_fit.quality().cv_smape, 1.0)
+        << inv_fit.to_string();
+}
