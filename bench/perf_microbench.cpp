@@ -13,6 +13,8 @@
 #include "modeling/fitter.hpp"
 #include "profiling/edp_io.hpp"
 #include "profiling/profiler.hpp"
+#include "serve/query.hpp"
+#include "serve/serialize.hpp"
 #include "sim/simulator.hpp"
 
 using namespace extradeep;
@@ -150,6 +152,46 @@ void BM_EdpRead(benchmark::State& state) {
                             static_cast<std::int64_t>(text.size()));
 }
 BENCHMARK(BM_EdpRead)->Unit(benchmark::kMillisecond);
+
+/// A serving engine over one fitted model, shared by every benchmark thread
+/// (the engine is thread-safe; that contention is exactly what the
+/// multi-threaded rows measure).
+serve::QueryEngine& bench_engine() {
+    static serve::QueryEngine* engine = [] {
+        ExperimentSpec spec;
+        spec.repetitions = 2;
+        auto registry = std::make_shared<serve::ModelRegistry>();
+        registry->add(std::make_shared<const serve::ServableModel>(
+            serve::make_servable(spec, ExperimentRunner(spec).run(),
+                                 "bench-model")));
+        return new serve::QueryEngine(std::move(registry));
+    }();
+    return *engine;
+}
+
+// Query-serving throughput: one request of each analysis kind per
+// iteration, answered by QueryEngine::execute (the daemon is a pure
+// transport over it, so this is the per-request serving cost minus the
+// network). ->Threads(1) vs ->Threads(4) shows how the registry's
+// shared-lock reads and the stats mutex scale under concurrent clients.
+void BM_ServeQuery(benchmark::State& state) {
+    serve::QueryEngine& engine = bench_engine();
+    static const std::vector<std::string> requests = {
+        "predict bench-model 16",
+        "speedup bench-model 2 4 8 16 32",
+        "efficiency bench-model 2 4 8 16 32",
+        "cost bench-model 16",
+        "search bench-model inf inf 2 4 8 16 32",
+    };
+    for (auto _ : state) {
+        for (const auto& request : requests) {
+            benchmark::DoNotOptimize(engine.execute(request));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_ServeQuery)->Threads(1)->Threads(4)->Unit(benchmark::kMicrosecond);
 
 void BM_EpochMeasurement(benchmark::State& state) {
     const sim::TrainingSimulator simulator(bench_workload(32));

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving subsystem, exercising the full
+# fit -> export .edpm -> daemon -> client chain over a real TCP socket:
+#
+#   1. fit a small experiment and export it as a .edpm model file
+#   2. start extradeep-serve on an ephemeral port over that directory
+#   3. issue one query of every kind through the client
+#   4. byte-compare every daemon answer against offline `ask` mode
+#   5. shut the daemon down via the protocol and check it exits cleanly
+#
+# Usage: serve_smoke.sh /path/to/extradeep-serve
+# Registered as the `serve_daemon_smoke` ctest.
+
+set -euo pipefail
+
+serve_bin="${1:?usage: serve_smoke.sh /path/to/extradeep-serve}"
+
+workdir="$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")"
+server_pid=""
+cleanup() {
+    if [[ -n "${server_pid}" ]] && kill -0 "${server_pid}" 2>/dev/null; then
+        kill "${server_pid}" 2>/dev/null || true
+        wait "${server_pid}" 2>/dev/null || true
+    fi
+    rm -rf "${workdir}"
+}
+trap cleanup EXIT
+
+echo "== fit + export =="
+"${serve_bin}" fit --out "${workdir}/smoke.edpm" --name smoke \
+    --reps 2 --seed 3
+grep -q $'^EDPM\t1$' "${workdir}/smoke.edpm"
+
+echo "== start daemon (ephemeral port) =="
+"${serve_bin}" serve --models "${workdir}" --threads 2 \
+    > "${workdir}/serve.log" 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "${workdir}/serve.log")"
+    [[ -n "${port}" ]] && break
+    kill -0 "${server_pid}" 2>/dev/null || {
+        echo "FAIL: daemon died during startup"; cat "${workdir}/serve.log"
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -n "${port}" ]] || { echo "FAIL: no LISTENING line"; exit 1; }
+echo "daemon on port ${port}"
+
+requests=(
+    "ping"
+    "list"
+    "predict smoke 16"
+    "predict smoke 16 communication"
+    "speedup smoke 2 4 8 16"
+    "efficiency smoke 2 4 8 16"
+    "cost smoke 16"
+    "search smoke inf inf 2 4 8 16 32"
+)
+
+echo "== query daemon, compare against offline ask mode =="
+"${serve_bin}" query --port "${port}" "${requests[@]}" > "${workdir}/daemon.out"
+"${serve_bin}" ask --models "${workdir}" "${requests[@]}" > "${workdir}/ask.out" \
+    2>/dev/null
+if ! diff -u "${workdir}/ask.out" "${workdir}/daemon.out"; then
+    echo "FAIL: daemon answers differ from library answers"
+    exit 1
+fi
+if grep -q '^err ' "${workdir}/daemon.out"; then
+    echo "FAIL: a smoke query returned an error:"
+    cat "${workdir}/daemon.out"
+    exit 1
+fi
+
+echo "== protocol shutdown =="
+"${serve_bin}" query --port "${port}" shutdown | grep -qx "ok bye"
+for _ in $(seq 1 100); do
+    kill -0 "${server_pid}" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "${server_pid}" 2>/dev/null; then
+    echo "FAIL: daemon still running after shutdown request"
+    exit 1
+fi
+wait "${server_pid}" || {
+    echo "FAIL: daemon exited with a non-zero status"
+    exit 1
+}
+server_pid=""
+
+echo "serve_smoke: all green"

@@ -23,6 +23,18 @@ enum class Severity {
 
 std::string_view severity_name(Severity severity);
 
+/// How a reader of a versioned on-disk format (EDP profiles, .edpm models)
+/// reacts to malformed input. Shared by every strict/tolerant load path so
+/// the error-handling contract is uniform across formats (DESIGN.md §8).
+enum class ParseMode {
+    /// Throw ParseError on the first problem (the historical behaviour).
+    Strict,
+    /// Never throw on malformed *content*: skip or quarantine what cannot be
+    /// decoded and report everything as Diagnostics. On clean input the
+    /// result is identical to Strict mode.
+    Tolerant,
+};
+
 /// One structured problem report from the tolerant EDP parser or the
 /// run/experiment validation pass. Collecting these instead of throwing is
 /// what lets the pipeline degrade gracefully on partially corrupt profiles.

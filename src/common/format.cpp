@@ -1,5 +1,6 @@
 #include "common/format.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,46 @@ std::string count(std::int64_t n) {
     }
     if (neg) out.push_back('-');
     return std::string(out.rbegin(), out.rend());
+}
+
+std::string shortest(double value) {
+    if (std::isnan(value)) return "nan";
+    if (std::isinf(value)) return value > 0.0 ? "inf" : "-inf";
+    char buf[64];
+    // Try increasing significand lengths until the rendering parses back to
+    // the identical bit pattern; 17 (max_digits10) always succeeds.
+    for (int digits = 1; digits <= 17; ++digits) {
+        std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+        char* end = nullptr;
+        const double back = std::strtod(buf, &end);
+        if (end != nullptr && *end == '\0' && back == value &&
+            std::signbit(back) == std::signbit(value)) {
+            return buf;
+        }
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string hexfloat(double value) {
+    if (std::isnan(value)) return "nan";
+    if (std::isinf(value)) return value > 0.0 ? "inf" : "-inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    return buf;
+}
+
+bool parse_double(std::string_view text, double& out) {
+    if (text.empty()) return false;
+    // strtod needs NUL termination; inputs here are short numeric tokens.
+    const std::string token(text);
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return false;
+    if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) return false;
+    out = v;
+    return true;
 }
 
 std::string coeff(double value) {

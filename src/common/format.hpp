@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace extradeep::fmt {
 
@@ -24,5 +25,24 @@ std::string count(std::int64_t n);
 /// Scientific-ish compact rendering used for model coefficients: fixed for
 /// magnitudes in [1e-3, 1e5), scientific otherwise.
 std::string coeff(double value);
+
+/// Shortest decimal rendering that parses back to the *bit-identical*
+/// double (the "shortest round-trip" encoding). Use this everywhere a
+/// serialised value is re-read by the pipeline: any fixed precision below
+/// max_digits10 (17) silently loses bits, and a fixed 17 digits bloats the
+/// common case ("0.1" instead of "0.100000000000000006"). Non-finite values
+/// render as "nan" / "inf" / "-inf".
+std::string shortest(double value);
+
+/// C99 hexadecimal floating-point rendering ("%a", e.g. "0x1.91eb8p+1").
+/// Exact by construction and locale-independent; this is the encoding of
+/// the .edpm model format where bit-exactness is a schema guarantee.
+/// Non-finite values render as "nan" / "inf" / "-inf".
+std::string hexfloat(double value);
+
+/// Parses the output of shortest()/hexfloat() (strtod grammar, full
+/// precision). Returns false on trailing garbage, empty input, or range
+/// errors; accepts "nan"/"inf"/"-inf".
+bool parse_double(std::string_view text, double& out);
 
 }  // namespace extradeep::fmt

@@ -7,8 +7,34 @@
 #include "common/error.hpp"
 #include "common/parallel_for.hpp"
 #include "common/stats.hpp"
+#include "dnn/datasets.hpp"
+#include "parallel/steps.hpp"
 
 namespace extradeep {
+
+StepMathFn make_step_math_fn(const std::string& dataset,
+                             parallel::StrategyKind strategy,
+                             int model_parallel_degree,
+                             parallel::ScalingMode scaling,
+                             std::int64_t batch_per_worker) {
+    const dnn::DatasetSpec spec = dnn::dataset_spec(dataset);
+    const int m = model_parallel_degree;
+    return [spec, strategy, m, scaling, batch_per_worker](int ranks) {
+        parallel::ParallelConfig cfg;
+        switch (strategy) {
+            case parallel::StrategyKind::Data:
+                cfg = parallel::ParallelConfig::data(ranks);
+                break;
+            case parallel::StrategyKind::Tensor:
+                cfg = parallel::ParallelConfig::tensor(ranks, m);
+                break;
+            case parallel::StrategyKind::Pipeline:
+                cfg = parallel::ParallelConfig::pipeline(ranks, m);
+                break;
+        }
+        return parallel::compute_steps(spec, cfg, batch_per_worker, scaling);
+    };
+}
 
 EpochModel::EpochModel(modeling::PerformanceModel train_step,
                        modeling::PerformanceModel val_step, StepMathFn steps)

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -13,6 +14,18 @@ namespace extradeep {
 
 /// Computes the analytical step counts n_t/n_v (Eqs. 2-3) for a rank count.
 using StepMathFn = std::function<parallel::StepMath(int ranks)>;
+
+/// Builds the analytical step-count function from the experiment parameters
+/// alone (Eqs. 2-3). This is the export/import hook of model persistence:
+/// the .edpm format stores exactly these five values, and a loaded model
+/// reconstructs a StepMathFn that is bit-identical to the one the runner
+/// used at fit time (the step math is pure integer arithmetic over the
+/// dataset spec). Throws InvalidArgumentError for unknown dataset names.
+StepMathFn make_step_math_fn(const std::string& dataset,
+                             parallel::StrategyKind strategy,
+                             int model_parallel_degree,
+                             parallel::ScalingMode scaling,
+                             std::int64_t batch_per_worker);
 
 /// A per-epoch performance model following Eqs. 2-5: PMNF models of the
 /// per-step metric value, separately for training and validation steps,

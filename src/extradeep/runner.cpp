@@ -56,26 +56,11 @@ sim::Workload ExperimentRunner::workload_for(int ranks) const {
 }
 
 StepMathFn ExperimentRunner::step_math_fn() const {
-    const dnn::DatasetSpec dataset = dnn::dataset_spec(spec_.dataset);
-    const auto strategy = spec_.strategy;
-    const int m = spec_.model_parallel_degree;
-    const auto scaling = spec_.scaling;
-    const std::int64_t batch = spec_.batch_per_worker;
-    return [dataset, strategy, m, scaling, batch](int ranks) {
-        parallel::ParallelConfig cfg;
-        switch (strategy) {
-            case parallel::StrategyKind::Data:
-                cfg = parallel::ParallelConfig::data(ranks);
-                break;
-            case parallel::StrategyKind::Tensor:
-                cfg = parallel::ParallelConfig::tensor(ranks, m);
-                break;
-            case parallel::StrategyKind::Pipeline:
-                cfg = parallel::ParallelConfig::pipeline(ranks, m);
-                break;
-        }
-        return parallel::compute_steps(dataset, cfg, batch, scaling);
-    };
+    // Delegates to the persistence hook so that a model exported to .edpm
+    // and reloaded reconstructs the exact same step-count function.
+    return make_step_math_fn(spec_.dataset, spec_.strategy,
+                             spec_.model_parallel_degree, spec_.scaling,
+                             spec_.batch_per_worker);
 }
 
 modeling::ModelGenerator ExperimentRunner::default_generator() const {

@@ -101,6 +101,14 @@ public:
     void set_fit_info(linalg::Matrix cov_unscaled, double residual_variance,
                       int degrees_of_freedom);
 
+    // Fit-info accessors for exact serialization (src/serve): a persisted
+    // model must reproduce predict_interval bit-for-bit, which requires the
+    // raw OLS covariance, residual variance and degrees of freedom.
+    bool has_fit_info() const { return has_fit_info_; }
+    const linalg::Matrix& cov_unscaled() const { return cov_unscaled_; }
+    double residual_variance() const { return residual_variance_; }
+    int degrees_of_freedom() const { return dof_; }
+
 private:
     double constant_ = 0.0;
     std::vector<Term> terms_;

@@ -13,12 +13,31 @@ std::string_view strategy_name(StrategyKind kind) {
     throw InvalidArgumentError("strategy_name: unknown kind");
 }
 
+StrategyKind parse_strategy(std::string_view name) {
+    if (name == "data parallelism" || name == "data") return StrategyKind::Data;
+    if (name == "tensor parallelism" || name == "tensor") {
+        return StrategyKind::Tensor;
+    }
+    if (name == "pipeline parallelism" || name == "pipeline") {
+        return StrategyKind::Pipeline;
+    }
+    throw ParseError("parse_strategy: unknown strategy name '" +
+                     std::string(name) + "'");
+}
+
 std::string_view scaling_name(ScalingMode mode) {
     switch (mode) {
         case ScalingMode::Weak: return "weak scaling";
         case ScalingMode::Strong: return "strong scaling";
     }
     throw InvalidArgumentError("scaling_name: unknown mode");
+}
+
+ScalingMode parse_scaling(std::string_view name) {
+    if (name == "weak scaling" || name == "weak") return ScalingMode::Weak;
+    if (name == "strong scaling" || name == "strong") return ScalingMode::Strong;
+    throw ParseError("parse_scaling: unknown scaling name '" +
+                     std::string(name) + "'");
 }
 
 int ParallelConfig::shards() const {

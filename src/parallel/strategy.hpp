@@ -17,6 +17,11 @@ enum class StrategyKind {
 
 std::string_view strategy_name(StrategyKind kind);
 
+/// Parses the output of strategy_name back into the enum (also accepts the
+/// bare "data"/"tensor"/"pipeline" shorthand used by CLI flags). Throws
+/// ParseError for unknown names (used by the .edpm model reader).
+StrategyKind parse_strategy(std::string_view name);
+
 /// Weak scaling multiplies the training set with the number of data-parallel
 /// shards; strong scaling keeps the problem size fixed (Sec. 4.1 runs every
 /// experiment in both modes).
@@ -26,6 +31,10 @@ enum class ScalingMode {
 };
 
 std::string_view scaling_name(ScalingMode mode);
+
+/// Parses the output of scaling_name back into the enum (also accepts the
+/// bare "weak"/"strong" shorthand). Throws ParseError for unknown names.
+ScalingMode parse_scaling(std::string_view name);
 
 /// A fully specified parallel execution: strategy, total MPI ranks x1, and
 /// the degree of model parallelism M. Following Eq. 2's convention, G is the

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/format.hpp"
 
 namespace extradeep::profiling {
 
@@ -345,26 +346,30 @@ EdpReadResult read_edp_impl(std::istream& is, const EdpReadOptions& options) {
 }  // namespace
 
 void write_edp(std::ostream& os, const ProfiledRun& run) {
-    os.precision(12);
+    // Every double is rendered with the shortest decimal that parses back to
+    // the identical bit pattern (fmt::shortest). The historical fixed
+    // 12-significant-digit encoding silently lost the low bits of any value
+    // off the 12-digit grid, so a write/read cycle was not the identity.
     os << "EDP\t1\n";
     for (const auto& [key, value] : run.params) {
         check_name(key);
-        os << "P\t" << key << '\t' << value << '\n';
+        os << "P\t" << key << '\t' << fmt::shortest(value) << '\n';
     }
     os << "REP\t" << run.repetition << '\n';
-    os << "WALL\t" << run.profiling_wall_time << '\n';
+    os << "WALL\t" << fmt::shortest(run.profiling_wall_time) << '\n';
     for (const auto& rank : run.ranks) {
         os << "RANK\t" << rank.rank << '\n';
         for (const auto& m : rank.marks) {
             os << "M\t" << mark_kind_str(m.kind) << '\t' << m.epoch << '\t'
                << m.step << '\t' << trace::step_kind_name(m.step_kind) << '\t'
-               << m.time << '\n';
+               << fmt::shortest(m.time) << '\n';
         }
         for (const auto& e : rank.events) {
             check_name(e.name);
             os << "E\t" << e.name << '\t' << trace::category_name(e.category)
-               << '\t' << e.start << '\t' << e.duration << '\t' << e.visits
-               << '\t' << e.bytes << '\n';
+               << '\t' << fmt::shortest(e.start) << '\t'
+               << fmt::shortest(e.duration) << '\t' << e.visits << '\t'
+               << fmt::shortest(e.bytes) << '\n';
         }
     }
     os << "END\n";

@@ -35,15 +35,9 @@ namespace extradeep::profiling {
 /// metric.
 
 /// How read_edp reacts to malformed input. See DESIGN.md, "EDP
-/// error-handling contract".
-enum class ParseMode {
-    /// Throw ParseError on the first problem (the historical behaviour).
-    Strict,
-    /// Never throw on malformed *content*: skip corrupt records, quarantine
-    /// undecodable RANK blocks, and report everything as Diagnostics. On
-    /// clean input the result is identical to Strict mode.
-    Tolerant,
-};
+/// error-handling contract". The enum itself lives in common/diagnostics so
+/// every versioned format (EDP profiles, .edpm models) shares one contract.
+using ParseMode = ::extradeep::ParseMode;
 
 struct EdpReadOptions {
     ParseMode mode = ParseMode::Strict;

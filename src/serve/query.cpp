@@ -1,0 +1,370 @@
+#include "serve/query.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "analysis/config_search.hpp"
+#include "analysis/cost.hpp"
+#include "analysis/speedup.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace extradeep::serve {
+
+namespace {
+
+std::vector<std::string> split_spaces(const std::string& line) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ') {
+            ++pos;
+        }
+        const std::size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ') {
+            ++pos;
+        }
+        if (pos > start) {
+            out.push_back(line.substr(start, pos - start));
+        }
+    }
+    return out;
+}
+
+/// Protocol argument: a finite double. Throws InvalidArgumentError with the
+/// offending token so the caller's catch turns it into an `err` line.
+double arg_double(const std::string& token, const char* what) {
+    double v = 0.0;
+    if (!fmt::parse_double(token, v) || std::isnan(v)) {
+        throw InvalidArgumentError(std::string("bad ") + what + " '" + token +
+                                   "'");
+    }
+    return v;
+}
+
+double arg_positive(const std::string& token, const char* what) {
+    const double v = arg_double(token, what);
+    if (!std::isfinite(v) || v <= 0.0) {
+        throw InvalidArgumentError(std::string(what) + " must be positive");
+    }
+    return v;
+}
+
+/// Limits accept "inf" (no limit); otherwise must be positive.
+double arg_limit(const std::string& token, const char* what) {
+    const double v = arg_double(token, what);
+    if (std::isinf(v) && v > 0.0) {
+        return v;
+    }
+    if (v <= 0.0) {
+        throw InvalidArgumentError(std::string(what) +
+                                   " must be positive or 'inf'");
+    }
+    return v;
+}
+
+std::shared_ptr<const ServableModel> require_model(
+    const ModelRegistry& registry, const std::string& name) {
+    auto model = registry.find(name);
+    if (!model) {
+        throw InvalidArgumentError("unknown model '" + name + "'");
+    }
+    return model;
+}
+
+/// Predicted per-epoch runtimes at the given rank counts.
+std::vector<double> predicted_runtimes(const ServableModel& model,
+                                       const std::vector<double>& xs) {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (const double x : xs) {
+        out.push_back(model.epoch_time.evaluate(x));
+    }
+    return out;
+}
+
+std::string do_predict(const ServableModel& model,
+                       const std::vector<std::string>& args) {
+    if (args.size() < 1 || args.size() > 3) {
+        throw InvalidArgumentError(
+            "usage: predict <model> <x> [epoch|computation|communication|"
+            "memory] [confidence]");
+    }
+    const double x = arg_positive(args[0], "rank count");
+    const EpochModel* target = &model.epoch_time;
+    std::size_t next = 1;
+    if (args.size() > next) {
+        const std::string& which = args[next];
+        if (which == "epoch") {
+            ++next;
+        } else if (which == "computation") {
+            target = &model.phase_time[0];
+            ++next;
+        } else if (which == "communication") {
+            target = &model.phase_time[1];
+            ++next;
+        } else if (which == "memory") {
+            target = &model.phase_time[2];
+            ++next;
+        }
+    }
+    double confidence = 0.95;
+    if (args.size() > next) {
+        confidence = arg_double(args[next], "confidence");
+        if (confidence <= 0.0 || confidence >= 1.0) {
+            throw InvalidArgumentError("confidence must be in (0, 1)");
+        }
+        ++next;
+    }
+    if (next != args.size()) {
+        throw InvalidArgumentError("unexpected argument '" + args[next] + "'");
+    }
+    const modeling::PredictionInterval pi =
+        target->predict_interval(x, confidence);
+    std::ostringstream os;
+    os << "ok t=" << fmt::shortest(pi.prediction)
+       << " lo=" << fmt::shortest(pi.lower)
+       << " hi=" << fmt::shortest(pi.upper);
+    return os.str();
+}
+
+std::string do_speedup(const ServableModel& model,
+                       const std::vector<std::string>& args, bool efficiency) {
+    if (args.size() < 2) {
+        throw InvalidArgumentError(std::string("usage: ") +
+                                   (efficiency ? "efficiency" : "speedup") +
+                                   " <model> <x1> <x2> [<x> ...]");
+    }
+    std::vector<double> xs;
+    xs.reserve(args.size());
+    for (const auto& a : args) {
+        xs.push_back(arg_positive(a, "rank count"));
+    }
+    const std::vector<double> runtimes = predicted_runtimes(model, xs);
+    const std::vector<double> values =
+        efficiency ? analysis::efficiencies(xs, runtimes)
+                   : analysis::speedups(runtimes);
+    std::ostringstream os;
+    os << "ok";
+    for (const double v : values) {
+        os << ' ' << fmt::shortest(v);
+    }
+    return os.str();
+}
+
+std::string do_cost(const ServableModel& model,
+                    const std::vector<std::string>& args) {
+    if (args.size() < 1 || args.size() > 2) {
+        throw InvalidArgumentError("usage: cost <model> <x> [cores_per_rank]");
+    }
+    const double x = arg_positive(args[0], "rank count");
+    double rho = static_cast<double>(model.cores_per_rank);
+    if (args.size() == 2) {
+        rho = arg_positive(args[1], "cores_per_rank");
+    }
+    const double runtime = model.epoch_time.evaluate(x);
+    const double cost = analysis::training_cost_core_hours(runtime, x, rho);
+    std::ostringstream os;
+    os << "ok cost=" << fmt::shortest(cost)
+       << " time=" << fmt::shortest(runtime) << " rho=" << fmt::shortest(rho);
+    return os.str();
+}
+
+std::string do_search(const ServableModel& model,
+                      const std::vector<std::string>& args) {
+    if (args.size() < 3) {
+        throw InvalidArgumentError(
+            "usage: search <model> <max_time_s> <max_cost> <x1> [<x> ...]");
+    }
+    analysis::ConfigSearchLimits limits;
+    limits.max_time_s = arg_limit(args[0], "max_time_s");
+    limits.max_cost = arg_limit(args[1], "max_cost");
+    std::vector<double> candidates;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+        candidates.push_back(arg_positive(args[i], "candidate rank count"));
+    }
+    const analysis::ConfigSearchResult result =
+        analysis::find_cost_effective_config(
+            [&model](double ranks) {
+                return model.epoch_time.evaluate(ranks);
+            },
+            candidates,
+            analysis::core_hours_cost(
+                static_cast<double>(model.cores_per_rank)),
+            limits, model.scaling);
+    std::size_t feasible = 0;
+    for (const auto& c : result.candidates) {
+        if (c.feasible()) {
+            ++feasible;
+        }
+    }
+    std::ostringstream os;
+    if (result.best.has_value()) {
+        const analysis::ConfigCandidate& best =
+            result.candidates[*result.best];
+        os << "ok best=" << fmt::shortest(best.ranks)
+           << " time=" << fmt::shortest(best.time_s)
+           << " cost=" << fmt::shortest(best.cost)
+           << " eff=" << fmt::shortest(best.efficiency_pct);
+    } else {
+        os << "ok best=none";
+    }
+    os << " feasible=" << feasible << " n=" << result.candidates.size();
+    return os.str();
+}
+
+}  // namespace
+
+std::string_view query_kind_name(QueryKind kind) {
+    switch (kind) {
+        case QueryKind::Predict: return "predict";
+        case QueryKind::Speedup: return "speedup";
+        case QueryKind::Efficiency: return "efficiency";
+        case QueryKind::Cost: return "cost";
+        case QueryKind::Search: return "search";
+        case QueryKind::List: return "list";
+        case QueryKind::Stats: return "stats";
+        case QueryKind::Ping: return "ping";
+        case QueryKind::Reload: return "reload";
+        case QueryKind::Other: return "other";
+    }
+    throw InvalidArgumentError("query_kind_name: unknown kind");
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<ModelRegistry> registry)
+    : registry_(std::move(registry)) {
+    if (!registry_) {
+        throw InvalidArgumentError("QueryEngine: null registry");
+    }
+}
+
+std::string QueryEngine::dispatch(const std::string& request,
+                                  QueryKind& kind) {
+    const std::vector<std::string> tokens = split_spaces(request);
+    if (tokens.empty()) {
+        kind = QueryKind::Other;
+        throw InvalidArgumentError("empty request");
+    }
+    const std::string& cmd = tokens[0];
+    const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+    if (cmd == "ping") {
+        kind = QueryKind::Ping;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: ping");
+        }
+        return "ok pong";
+    }
+    if (cmd == "list") {
+        kind = QueryKind::List;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: list");
+        }
+        const std::vector<std::string> names = registry_->names();
+        std::ostringstream os;
+        os << "ok " << names.size();
+        for (const auto& n : names) {
+            os << ' ' << n;
+        }
+        return os.str();
+    }
+    if (cmd == "stats") {
+        kind = QueryKind::Stats;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: stats");
+        }
+        const auto snapshot = counters();
+        std::ostringstream os;
+        os << "ok";
+        for (int k = 0; k < kQueryKindCount; ++k) {
+            const QueryCounters& c = snapshot[static_cast<std::size_t>(k)];
+            os << ' ' << query_kind_name(static_cast<QueryKind>(k)) << '='
+               << c.requests << ':' << c.errors << ':' << c.total_latency_us
+               << ':' << c.max_latency_us;
+        }
+        return os.str();
+    }
+    if (cmd == "reload") {
+        kind = QueryKind::Reload;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: reload");
+        }
+        const RegistryLoadReport report = registry_->reload();
+        std::ostringstream os;
+        os << "ok loaded=" << report.loaded
+           << " quarantined=" << report.quarantined
+           << " removed=" << report.removed;
+        return os.str();
+    }
+    if (cmd == "predict" || cmd == "speedup" || cmd == "efficiency" ||
+        cmd == "cost" || cmd == "search") {
+        // Attribute the request to its kind before anything can throw, so
+        // errors (unknown model, bad arguments) are counted under the right
+        // bucket rather than under `other`.
+        kind = cmd == "predict"      ? QueryKind::Predict
+               : cmd == "speedup"    ? QueryKind::Speedup
+               : cmd == "efficiency" ? QueryKind::Efficiency
+               : cmd == "cost"       ? QueryKind::Cost
+                                     : QueryKind::Search;
+        if (args.empty()) {
+            throw InvalidArgumentError("usage: " + cmd + " <model> ...");
+        }
+        const auto model = require_model(*registry_, args[0]);
+        const std::vector<std::string> rest(args.begin() + 1, args.end());
+        switch (kind) {
+            case QueryKind::Predict:
+                return do_predict(*model, rest);
+            case QueryKind::Speedup:
+                return do_speedup(*model, rest, /*efficiency=*/false);
+            case QueryKind::Efficiency:
+                return do_speedup(*model, rest, /*efficiency=*/true);
+            case QueryKind::Cost:
+                return do_cost(*model, rest);
+            default:
+                return do_search(*model, rest);
+        }
+    }
+    kind = QueryKind::Other;
+    throw InvalidArgumentError("unknown command '" + cmd + "'");
+}
+
+std::string QueryEngine::execute(const std::string& request) {
+    const auto start = std::chrono::steady_clock::now();
+    QueryKind kind = QueryKind::Other;
+    std::string response;
+    bool failed = false;
+    try {
+        response = dispatch(request, kind);
+    } catch (const Error& e) {
+        response = std::string("err ") + e.what();
+        failed = true;
+    } catch (const std::exception& e) {
+        response = std::string("err internal: ") + e.what();
+        failed = true;
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    const auto us = static_cast<std::uint64_t>(elapsed < 0 ? 0 : elapsed);
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        QueryCounters& c = counters_[static_cast<std::size_t>(kind)];
+        ++c.requests;
+        if (failed) {
+            ++c.errors;
+        }
+        c.total_latency_us += us;
+        c.max_latency_us = std::max(c.max_latency_us, us);
+    }
+    return response;
+}
+
+std::array<QueryCounters, kQueryKindCount> QueryEngine::counters() const {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return counters_;
+}
+
+}  // namespace extradeep::serve

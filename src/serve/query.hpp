@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/registry.hpp"
+
+namespace extradeep::serve {
+
+/// Request kinds of the serving protocol, including the bookkeeping bucket
+/// for unknown commands (`Other`).
+enum class QueryKind {
+    Predict,
+    Speedup,
+    Efficiency,
+    Cost,
+    Search,
+    List,
+    Stats,
+    Ping,
+    Reload,
+    Other,
+};
+
+inline constexpr int kQueryKindCount = 10;
+
+std::string_view query_kind_name(QueryKind kind);
+
+/// Per-kind serving counters, exported via the `stats` query.
+struct QueryCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t total_latency_us = 0;
+    std::uint64_t max_latency_us = 0;
+};
+
+/// Answers line-protocol queries against a model registry. This is the
+/// library API of the serving subsystem; the TCP daemon is a thin transport
+/// over execute(), so daemon answers are byte-identical to library answers
+/// by construction.
+///
+/// Request grammar (space-separated tokens, one request per line):
+///   ping
+///   list
+///   stats
+///   reload
+///   predict    <model> <x> [epoch|computation|communication|memory] [conf]
+///   speedup    <model> <x1> <x2> [<x> ...]          (Eq. 11, vs first x)
+///   efficiency <model> <x1> <x2> [<x> ...]          (Eq. 13, vs first x)
+///   cost       <model> <x> [rho]                    (Eq. 14)
+///   search     <model> <max_time_s> <max_cost> <x1> [<x> ...]   (Sec. 3.3)
+///
+/// Responses are a single line: `ok <payload>` or `err <reason>`. All
+/// numbers are rendered with fmt::shortest, so answers are deterministic
+/// and exact. Execution never throws: every library error is mapped to an
+/// `err` response and counted.
+class QueryEngine {
+public:
+    explicit QueryEngine(std::shared_ptr<ModelRegistry> registry);
+
+    /// Executes one request line and returns the response line (without a
+    /// trailing newline). Thread-safe.
+    std::string execute(const std::string& request);
+
+    /// Snapshot of the per-kind counters.
+    std::array<QueryCounters, kQueryKindCount> counters() const;
+
+    const std::shared_ptr<ModelRegistry>& registry() const {
+        return registry_;
+    }
+
+private:
+    std::string dispatch(const std::string& request, QueryKind& kind);
+
+    std::shared_ptr<ModelRegistry> registry_;
+    mutable std::mutex stats_mutex_;
+    std::array<QueryCounters, kQueryKindCount> counters_{};
+};
+
+}  // namespace extradeep::serve

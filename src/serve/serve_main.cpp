@@ -1,0 +1,295 @@
+// extradeep-serve: model persistence and query serving.
+//
+// Four modes over the src/serve subsystem:
+//
+//   fit    — run one experiment and export the fitted models as a .edpm file
+//   serve  — load a directory of .edpm files and answer line-protocol
+//            queries over TCP (prints `LISTENING <port>` when ready)
+//   query  — client mode: send request lines to a running daemon
+//   ask    — offline mode: answer request lines directly from a directory,
+//            no daemon (byte-identical responses by construction)
+//
+// Usage:
+//   extradeep-serve fit --out model.edpm [--name NAME] [--dataset D]
+//                       [--system DEEP|JURECA] [--strategy data|tensor|pipeline]
+//                       [--scaling weak|strong] [--batch B] [--mdegree M]
+//                       [--ranks 2,4,6,8,10] [--reps N] [--seed N] [--threads N]
+//   extradeep-serve serve --models DIR [--port N] [--threads N]
+//   extradeep-serve query --port N [--host H] REQUEST...
+//   extradeep-serve ask --models DIR REQUEST...
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/query.hpp"
+#include "serve/registry.hpp"
+#include "serve/serialize.hpp"
+#include "serve/server.hpp"
+
+using namespace extradeep;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s fit --out FILE [--name NAME] [fit options]\n"
+                 "       %s serve --models DIR [--port N] [--threads N]\n"
+                 "       %s query --port N [--host H] REQUEST...\n"
+                 "       %s ask --models DIR REQUEST...\n",
+                 argv0, argv0, argv0, argv0);
+}
+
+std::vector<int> parse_rank_list(const std::string& arg) {
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::string token =
+            arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        std::size_t used = 0;
+        const int v = std::stoi(token, &used);
+        if (token.empty() || used != token.size() || v < 1) {
+            throw InvalidArgumentError("--ranks: bad rank count '" + token +
+                                       "'");
+        }
+        out.push_back(v);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+hw::SystemSpec parse_system(const std::string& name) {
+    if (name == "DEEP" || name == "deep") {
+        return hw::SystemSpec::deep();
+    }
+    if (name == "JURECA" || name == "jureca") {
+        return hw::SystemSpec::jureca();
+    }
+    throw InvalidArgumentError("--system: unknown system '" + name +
+                               "' (expected DEEP or JURECA)");
+}
+
+/// Simple flag cursor shared by all modes.
+class Args {
+public:
+    Args(int argc, char** argv, int first) : argc_(argc), argv_(argv),
+                                             i_(first) {}
+    bool next(std::string& arg) {
+        if (i_ >= argc_) {
+            return false;
+        }
+        arg = argv_[i_++];
+        return true;
+    }
+    std::string value(const std::string& flag) {
+        if (i_ >= argc_) {
+            throw InvalidArgumentError(flag + " requires a value");
+        }
+        return argv_[i_++];
+    }
+
+private:
+    int argc_;
+    char** argv_;
+    int i_;
+};
+
+int run_fit(Args args) {
+    ExperimentSpec spec;
+    std::string out_path;
+    std::string name = "model";
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--out") {
+            out_path = args.value(arg);
+        } else if (arg == "--name") {
+            name = args.value(arg);
+        } else if (arg == "--dataset") {
+            spec.dataset = args.value(arg);
+        } else if (arg == "--system") {
+            spec.system = parse_system(args.value(arg));
+        } else if (arg == "--strategy") {
+            spec.strategy = parallel::parse_strategy(args.value(arg));
+        } else if (arg == "--scaling") {
+            spec.scaling = parallel::parse_scaling(args.value(arg));
+        } else if (arg == "--batch") {
+            spec.batch_per_worker = std::stoll(args.value(arg));
+        } else if (arg == "--mdegree") {
+            spec.model_parallel_degree = std::stoi(args.value(arg));
+        } else if (arg == "--ranks") {
+            spec.modeling_ranks = parse_rank_list(args.value(arg));
+        } else if (arg == "--reps") {
+            spec.repetitions = std::stoi(args.value(arg));
+        } else if (arg == "--seed") {
+            spec.seed = std::stoull(args.value(arg));
+        } else if (arg == "--threads") {
+            spec.fit_threads = std::stoi(args.value(arg));
+        } else {
+            throw InvalidArgumentError("fit: unknown option '" + arg + "'");
+        }
+    }
+    if (out_path.empty()) {
+        throw InvalidArgumentError("fit: --out FILE is required");
+    }
+    const ExperimentRunner runner(spec);
+    const ExperimentResult result = runner.run();
+    const serve::ServableModel model =
+        serve::make_servable(spec, result, name);
+    serve::write_edpm_file(out_path, model);
+    std::printf("wrote %s (%s)\n", out_path.c_str(),
+                model.provenance.c_str());
+    return 0;
+}
+
+void print_load_report(const serve::RegistryLoadReport& report) {
+    std::printf("loaded %d model(s), %d quarantined, %d removed\n",
+                report.loaded, report.quarantined, report.removed);
+    for (const auto& d : report.diagnostics.entries()) {
+        std::fprintf(stderr, "%s: %s\n", severity_name(d.severity).data(),
+                     d.reason.c_str());
+    }
+}
+
+serve::ServeDaemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+    if (g_daemon != nullptr) {
+        g_daemon->stop();  // shutdown(2) is async-signal-safe
+    }
+}
+
+int run_serve(Args args) {
+    std::string models_dir;
+    serve::ServerOptions options;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--models") {
+            models_dir = args.value(arg);
+        } else if (arg == "--port") {
+            options.port = std::stoi(args.value(arg));
+        } else if (arg == "--threads") {
+            options.threads = std::stoi(args.value(arg));
+        } else if (arg == "--host") {
+            options.host = args.value(arg);
+        } else {
+            throw InvalidArgumentError("serve: unknown option '" + arg + "'");
+        }
+    }
+    if (models_dir.empty()) {
+        throw InvalidArgumentError("serve: --models DIR is required");
+    }
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    print_load_report(registry->load_directory(models_dir));
+    auto engine = std::make_shared<serve::QueryEngine>(std::move(registry));
+    serve::ServeDaemon daemon(std::move(engine), options);
+    daemon.start();
+    g_daemon = &daemon;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("LISTENING %d\n", daemon.port());
+    std::fflush(stdout);
+    daemon.wait();
+    g_daemon = nullptr;
+    std::printf("stopped\n");
+    return 0;
+}
+
+int run_query(Args args) {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    std::vector<std::string> requests;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--host") {
+            host = args.value(arg);
+        } else if (arg == "--port") {
+            port = std::stoi(args.value(arg));
+        } else {
+            requests.push_back(arg);
+        }
+    }
+    if (port <= 0) {
+        throw InvalidArgumentError("query: --port N is required");
+    }
+    if (requests.empty()) {
+        throw InvalidArgumentError("query: no requests given");
+    }
+    const std::vector<std::string> responses =
+        serve::query_daemon(host, port, requests);
+    for (const auto& r : responses) {
+        std::printf("%s\n", r.c_str());
+    }
+    return 0;
+}
+
+int run_ask(Args args) {
+    std::string models_dir;
+    std::vector<std::string> requests;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--models") {
+            models_dir = args.value(arg);
+        } else {
+            requests.push_back(arg);
+        }
+    }
+    if (models_dir.empty()) {
+        throw InvalidArgumentError("ask: --models DIR is required");
+    }
+    if (requests.empty()) {
+        throw InvalidArgumentError("ask: no requests given");
+    }
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    const auto report = registry->load_directory(models_dir);
+    for (const auto& d : report.diagnostics.entries()) {
+        std::fprintf(stderr, "%s: %s\n", severity_name(d.severity).data(),
+                     d.reason.c_str());
+    }
+    serve::QueryEngine engine(std::move(registry));
+    for (const auto& r : requests) {
+        std::printf("%s\n", engine.execute(r).c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string mode = argv[1];
+    try {
+        Args args(argc, argv, 2);
+        if (mode == "fit") {
+            return run_fit(args);
+        }
+        if (mode == "serve") {
+            return run_serve(args);
+        }
+        if (mode == "query") {
+            return run_query(args);
+        }
+        if (mode == "ask") {
+            return run_ask(args);
+        }
+        if (mode == "-h" || mode == "--help") {
+            usage(argv[0]);
+            return 0;
+        }
+        std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+        usage(argv[0]);
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,279 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/parallel_for.hpp"
+
+namespace extradeep::serve {
+
+namespace {
+
+void set_recv_timeout(int fd, int timeout_ms) {
+    if (timeout_ms <= 0) {
+        return;
+    }
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/// Buffered line reader over a socket. Returns false on EOF, error, or
+/// receive timeout. Lines longer than the cap terminate the connection (a
+/// legitimate request is always short).
+class LineReader {
+public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    bool next_line(std::string& line) {
+        static constexpr std::size_t kMaxLine = 1 << 16;
+        while (true) {
+            const std::size_t nl = buffer_.find('\n');
+            if (nl != std::string::npos) {
+                line = buffer_.substr(0, nl);
+                buffer_.erase(0, nl + 1);
+                if (!line.empty() && line.back() == '\r') {
+                    line.pop_back();
+                }
+                return true;
+            }
+            if (buffer_.size() > kMaxLine) {
+                return false;
+            }
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0) {
+                // EOF: a trailing unterminated line is still served, so a
+                // client may just write requests and shut down the socket.
+                if (n == 0 && !buffer_.empty()) {
+                    line = std::move(buffer_);
+                    buffer_.clear();
+                    if (!line.empty() && line.back() == '\r') {
+                        line.pop_back();
+                    }
+                    return true;
+                }
+                return false;
+            }
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+        }
+    }
+
+private:
+    int fd_;
+    std::string buffer_;
+};
+
+int connect_to(const std::string& host, int port, int timeout_ms) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw Error("serve client: socket() failed");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw Error("serve client: bad host address '" + host + "'");
+    }
+    set_recv_timeout(fd, timeout_ms);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw Error("serve client: cannot connect to " + host + ":" +
+                    std::to_string(port));
+    }
+    return fd;
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(std::shared_ptr<QueryEngine> engine,
+                         ServerOptions options)
+    : engine_(std::move(engine)), options_(std::move(options)) {
+    if (!engine_) {
+        throw InvalidArgumentError("ServeDaemon: null engine");
+    }
+}
+
+ServeDaemon::~ServeDaemon() {
+    stop();
+    wait();
+}
+
+void ServeDaemon::start() {
+    if (running_.load() || listen_fd_ >= 0) {
+        throw Error("ServeDaemon: already started");
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        throw Error("ServeDaemon: socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw Error("ServeDaemon: bad host address '" + options_.host + "'");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(std::string("ServeDaemon: bind failed: ") +
+                    std::strerror(err));
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno;
+        ::close(fd);
+        throw Error(std::string("ServeDaemon: listen failed: ") +
+                    std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        ::close(fd);
+        throw Error("ServeDaemon: getsockname failed");
+    }
+    listen_fd_ = fd;
+    port_ = ntohs(bound.sin_port);
+    stop_.store(false);
+    running_.store(true);
+    loop_thread_ = std::thread([this] { loop(); });
+}
+
+void ServeDaemon::loop() {
+    ThreadPool pool(options_.threads);
+    const int batch_cap = 4 * pool.thread_count();
+    while (!stop_.load()) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, options_.accept_poll_ms);
+        if (ready <= 0) {
+            continue;  // timeout or EINTR: re-check the stop flag
+        }
+        // Drain every pending connection into one batch, then serve the
+        // batch concurrently on the pool (one connection per chunk).
+        std::vector<int> batch;
+        while (static_cast<int>(batch.size()) < batch_cap) {
+            const int conn = ::accept(listen_fd_, nullptr, nullptr);
+            if (conn < 0) {
+                break;
+            }
+            set_recv_timeout(conn, options_.recv_timeout_ms);
+            batch.push_back(conn);
+            pollfd more{};
+            more.fd = listen_fd_;
+            more.events = POLLIN;
+            if (::poll(&more, 1, 0) <= 0) {
+                break;
+            }
+        }
+        if (batch.empty()) {
+            continue;
+        }
+        pool.parallel_for(batch.size(),
+                          [&](int /*chunk*/, std::size_t begin,
+                              std::size_t end) {
+                              for (std::size_t i = begin; i < end; ++i) {
+                                  handle_connection(batch[i]);
+                              }
+                          });
+    }
+    running_.store(false);
+    {
+        std::lock_guard<std::mutex> lock(wait_mutex_);
+    }
+    wait_cv_.notify_all();
+}
+
+void ServeDaemon::handle_connection(int fd) {
+    LineReader reader(fd);
+    std::string line;
+    while (!stop_.load() && reader.next_line(line)) {
+        if (line == "quit" || line == "shutdown") {
+            send_all(fd, "ok bye\n");
+            if (line == "shutdown") {
+                stop_.store(true);
+            }
+            break;
+        }
+        const std::string response = engine_->execute(line);
+        if (!send_all(fd, response + "\n")) {
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void ServeDaemon::stop() {
+    stop_.store(true);
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+}
+
+void ServeDaemon::wait() {
+    if (loop_thread_.joinable()) {
+        loop_thread_.join();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    running_.store(false);
+}
+
+std::vector<std::string> query_daemon(const std::string& host, int port,
+                                      const std::vector<std::string>& requests,
+                                      int timeout_ms) {
+    const int fd = connect_to(host, port, timeout_ms);
+    std::string payload;
+    for (const auto& r : requests) {
+        payload += r;
+        payload += '\n';
+    }
+    if (!send_all(fd, payload)) {
+        ::close(fd);
+        throw Error("serve client: send failed");
+    }
+    ::shutdown(fd, SHUT_WR);
+    std::vector<std::string> responses;
+    LineReader reader(fd);
+    std::string line;
+    while (responses.size() < requests.size() && reader.next_line(line)) {
+        responses.push_back(line);
+    }
+    ::close(fd);
+    if (responses.size() != requests.size()) {
+        throw Error("serve client: connection closed after " +
+                    std::to_string(responses.size()) + " of " +
+                    std::to_string(requests.size()) + " responses");
+    }
+    return responses;
+}
+
+}  // namespace extradeep::serve

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/query.hpp"
+
+namespace extradeep::serve {
+
+struct ServerOptions {
+    /// Loopback only by design: extradeep-serve is a local analysis daemon,
+    /// not an internet-facing service.
+    std::string host = "127.0.0.1";
+    /// 0 = let the kernel pick an ephemeral port (read it back via port()).
+    int port = 0;
+    /// Connection-handling threads (the common/parallel_for pool);
+    /// 0 or negative = hardware concurrency.
+    int threads = 4;
+    /// Per-connection receive timeout. An idle client is disconnected so a
+    /// stalled peer cannot pin a handler thread forever.
+    int recv_timeout_ms = 5000;
+    /// Poll interval of the accept loop (stop-flag latency).
+    int accept_poll_ms = 50;
+};
+
+/// Line-protocol TCP daemon over a QueryEngine.
+///
+/// Transport contract: one request line in, one response line out, in
+/// order, per connection. The daemon adds nothing to QueryEngine responses,
+/// so network answers are byte-identical to library calls. Two transport
+/// commands are handled here rather than in the engine: `quit` closes the
+/// connection, `shutdown` closes the connection and stops the daemon (both
+/// answer `ok bye` first).
+///
+/// Concurrency model: the accept loop drains all pending connections into a
+/// batch and processes the batch on the shared fork-join ThreadPool
+/// (common/parallel_for), one connection per chunk, until every connection
+/// in the batch has terminated (EOF, `quit`, error, or idle timeout). New
+/// connections arriving mid-batch wait in the listen backlog. Results are
+/// deterministic for any client mix because every request is answered from
+/// an immutable registry snapshot and connections never share state.
+class ServeDaemon {
+public:
+    ServeDaemon(std::shared_ptr<QueryEngine> engine, ServerOptions options);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon&) = delete;
+    ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+    /// Binds, listens, and spawns the accept loop. Throws Error if the
+    /// socket cannot be created or bound.
+    void start();
+
+    /// The bound port (resolved after start(), also for ephemeral requests).
+    int port() const { return port_; }
+
+    /// Requests shutdown and closes the listening socket. Idempotent.
+    void stop();
+
+    /// Blocks until the daemon has stopped (via stop() or a `shutdown`
+    /// request) and the accept loop has exited.
+    void wait();
+
+    bool running() const { return running_.load(); }
+
+private:
+    void loop();
+    void handle_connection(int fd);
+
+    std::shared_ptr<QueryEngine> engine_;
+    ServerOptions options_;
+    int listen_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> running_{false};
+    std::thread loop_thread_;
+    std::mutex wait_mutex_;
+    std::condition_variable wait_cv_;
+};
+
+/// Client helper: connects, sends every request (newline-terminated), half-
+/// closes the write side, and returns one response line per request. Used
+/// by the `extradeep-serve query` client mode and the daemon tests. Throws
+/// Error on connection failure or a short response stream.
+std::vector<std::string> query_daemon(const std::string& host, int port,
+                                      const std::vector<std::string>& requests,
+                                      int timeout_ms = 10000);
+
+}  // namespace extradeep::serve

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -103,7 +104,9 @@ TEST(EdpIo, RoundTripPreservesEverything) {
 
     EXPECT_EQ(back.params, run.params);
     EXPECT_EQ(back.repetition, run.repetition);
-    EXPECT_NEAR(back.profiling_wall_time, run.profiling_wall_time, 1e-9);
+    // Bit-exact: the writer emits shortest-round-trip decimals, so a
+    // write/read cycle is the identity on every double.
+    EXPECT_EQ(back.profiling_wall_time, run.profiling_wall_time);
     ASSERT_EQ(back.ranks.size(), run.ranks.size());
     for (std::size_t r = 0; r < run.ranks.size(); ++r) {
         ASSERT_EQ(back.ranks[r].events.size(), run.ranks[r].events.size());
@@ -114,9 +117,50 @@ TEST(EdpIo, RoundTripPreservesEverything) {
             EXPECT_EQ(a.name, b.name);
             EXPECT_EQ(a.category, b.category);
             EXPECT_EQ(a.visits, b.visits);
-            EXPECT_NEAR(a.start, b.start, 1e-9 * (1.0 + a.start));
-            EXPECT_NEAR(a.duration, b.duration, 1e-12 + 1e-9 * a.duration);
+            EXPECT_EQ(a.start, b.start);
+            EXPECT_EQ(a.duration, b.duration);
         }
+    }
+}
+
+TEST(EdpIo, RoundTripIsBitExactOffTheTwelveDigitGrid) {
+    // Regression: the writer used a fixed 12-significant-digit encoding, so
+    // any value off that grid (0.1 + 0.2, 1/3, nextafter(1, 2), ...) came
+    // back with its low mantissa bits changed. The shortest-round-trip
+    // encoding must reproduce every bit.
+    const double awkward[] = {0.1 + 0.2,
+                              1.0 / 3.0,
+                              std::nextafter(1.0, 2.0),
+                              3.141592653589793,
+                              6.02214076e23,
+                              2.2250738585072014e-308 /* DBL_MIN */};
+    ProfiledRun run;
+    run.params = {{"x1", 2.0}};
+    run.repetition = 0;
+    run.profiling_wall_time = awkward[0];
+    trace::RankTrace rank;
+    rank.rank = 0;
+    for (const double v : awkward) {
+        trace::TraceEvent e;
+        e.name = "k";
+        e.category = trace::KernelCategory::CudaKernel;
+        e.start = v;
+        e.duration = v;
+        e.bytes = v;
+        rank.events.push_back(e);
+    }
+    run.ranks.push_back(rank);
+
+    std::stringstream buffer;
+    write_edp(buffer, run);
+    const ProfiledRun back = read_edp(buffer);
+    EXPECT_EQ(back.profiling_wall_time, run.profiling_wall_time);
+    ASSERT_EQ(back.ranks.size(), 1u);
+    ASSERT_EQ(back.ranks[0].events.size(), std::size(awkward));
+    for (std::size_t i = 0; i < std::size(awkward); ++i) {
+        EXPECT_EQ(back.ranks[0].events[i].start, awkward[i]) << i;
+        EXPECT_EQ(back.ranks[0].events[i].duration, awkward[i]) << i;
+        EXPECT_EQ(back.ranks[0].events[i].bytes, awkward[i]) << i;
     }
 }
 

@@ -1,0 +1,447 @@
+// Tests of the serving subsystem (src/serve): EDPM serialization round-trip,
+// registry lifecycle, query engine semantics, and the TCP daemon — including
+// the headline property that a serialize -> load -> query cycle answers every
+// query kind byte-identically to the in-memory model it came from.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/query.hpp"
+#include "serve/registry.hpp"
+#include "serve/serialize.hpp"
+#include "serve/server.hpp"
+
+using namespace extradeep;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One small fitted experiment, shared across the suite (fitting is fast but
+/// there is no reason to repeat it per test).
+const ExperimentSpec& test_spec() {
+    static const ExperimentSpec spec = [] {
+        ExperimentSpec s;
+        s.repetitions = 2;
+        s.seed = 7;
+        return s;
+    }();
+    return spec;
+}
+
+const ExperimentResult& test_result() {
+    static const ExperimentResult result = ExperimentRunner(test_spec()).run();
+    return result;
+}
+
+serve::ServableModel test_model(const std::string& name = "cifar10-weak") {
+    return serve::make_servable(test_spec(), test_result(), name);
+}
+
+std::string edpm_text(const serve::ServableModel& model) {
+    std::ostringstream os;
+    serve::write_edpm(os, model);
+    return os.str();
+}
+
+/// A fresh empty directory under the gtest temp root.
+fs::path fresh_dir(const std::string& tag) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("serve-" + tag);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+/// Requests covering every query kind the protocol defines.
+std::vector<std::string> all_kind_requests(const std::string& model) {
+    return {
+        "ping",
+        "list",
+        "predict " + model + " 16",
+        "predict " + model + " 16 communication",
+        "predict " + model + " 16 epoch 0.99",
+        "speedup " + model + " 2 4 8 16 32",
+        "efficiency " + model + " 2 4 8 16 32",
+        "cost " + model + " 16",
+        "cost " + model + " 16 4",
+        "search " + model + " 1e6 1e6 2 4 8 16 32",
+        "search " + model + " 0.001 1e6 2 4 8 16",
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(EdpmSerialize, RoundTripIsBitExact) {
+    const serve::ServableModel original = test_model();
+    std::istringstream is(edpm_text(original));
+    const serve::ServableModel loaded = serve::read_edpm(is);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.provenance, original.provenance);
+    EXPECT_EQ(loaded.seed, original.seed);
+    EXPECT_EQ(loaded.dataset, original.dataset);
+    EXPECT_EQ(loaded.system_name, original.system_name);
+    EXPECT_EQ(loaded.strategy, original.strategy);
+    EXPECT_EQ(loaded.scaling, original.scaling);
+    EXPECT_EQ(loaded.batch_per_worker, original.batch_per_worker);
+    EXPECT_EQ(loaded.model_parallel_degree, original.model_parallel_degree);
+    EXPECT_EQ(loaded.cores_per_rank, original.cores_per_rank);
+    ASSERT_EQ(loaded.modeling_xs.size(), original.modeling_xs.size());
+    for (std::size_t i = 0; i < loaded.modeling_xs.size(); ++i) {
+        // EXPECT_EQ, not NEAR: hexfloat encoding round-trips every bit.
+        EXPECT_EQ(loaded.modeling_xs[i], original.modeling_xs[i]);
+        EXPECT_EQ(loaded.epoch_time_values[i], original.epoch_time_values[i]);
+    }
+    for (const double x : {2.0, 10.0, 16.0, 64.0, 1024.0}) {
+        EXPECT_EQ(loaded.epoch_time.evaluate(x),
+                  original.epoch_time.evaluate(x));
+        const auto li = loaded.epoch_time.predict_interval(x);
+        const auto oi = original.epoch_time.predict_interval(x);
+        EXPECT_EQ(li.lower, oi.lower);
+        EXPECT_EQ(li.upper, oi.upper);
+        for (int p = 0; p < trace::kPhaseCount; ++p) {
+            EXPECT_EQ(loaded.phase_time[p].evaluate(x),
+                      original.phase_time[p].evaluate(x));
+        }
+    }
+    for (const int ranks : {2, 6, 48, 512}) {
+        const parallel::StepMath a = loaded.step_math(ranks);
+        const parallel::StepMath b = original.step_math(ranks);
+        EXPECT_EQ(a.train_steps, b.train_steps);
+        EXPECT_EQ(a.val_steps, b.val_steps);
+    }
+}
+
+TEST(EdpmSerialize, SecondGenerationRoundTripIsByteIdentical) {
+    const std::string first = edpm_text(test_model());
+    std::istringstream is(first);
+    const serve::ServableModel loaded = serve::read_edpm(is);
+    EXPECT_EQ(edpm_text(loaded), first);
+}
+
+TEST(EdpmSerialize, RejectsInvalidModelNames) {
+    for (const char* bad : {"", "has space", "tab\tname", "weird!"}) {
+        EXPECT_THROW(test_model(bad), InvalidArgumentError) << bad;
+    }
+    EXPECT_THROW(test_model(std::string(129, 'a')), InvalidArgumentError);
+    EXPECT_NO_THROW(test_model("ok.name_v2-final"));
+}
+
+TEST(EdpmSerialize, StrictRejectsVersionMismatch) {
+    std::string text = edpm_text(test_model());
+    text.replace(text.find("EDPM\t1"), 6, "EDPM\t2");
+    std::istringstream is(text);
+    EXPECT_THROW(serve::read_edpm(is), ParseError);
+}
+
+TEST(EdpmSerialize, StrictRejectsTruncation) {
+    const std::string text = edpm_text(test_model());
+    std::istringstream is(text.substr(0, text.size() / 2));
+    EXPECT_THROW(serve::read_edpm(is), ParseError);
+}
+
+TEST(EdpmSerialize, StrictRejectsTrailingData) {
+    std::istringstream is(edpm_text(test_model()) + "EXTRA\tstuff\n");
+    EXPECT_THROW(serve::read_edpm(is), ParseError);
+}
+
+TEST(EdpmSerialize, TolerantQuarantinesCorruptConst) {
+    std::string text = edpm_text(test_model());
+    const std::size_t pos = text.find("CONST\t");
+    text.replace(pos, 6, "CONST\tzz");
+    std::istringstream is(text);
+    serve::EdpmReadOptions options;
+    options.mode = ParseMode::Tolerant;
+    serve::EdpmReadResult result;
+    EXPECT_NO_THROW(result = serve::read_edpm(is, options));
+    EXPECT_FALSE(result.ok());
+    EXPECT_TRUE(result.diagnostics.has_errors());
+}
+
+TEST(EdpmSerialize, TolerantDegradesCorruptQualityWithWarning) {
+    std::string text = edpm_text(test_model());
+    const std::size_t pos = text.find("QUALITY\t");
+    text.replace(pos, 8, "QUALITY\tzz\t");
+    std::istringstream is(text);
+    serve::EdpmReadOptions options;
+    options.mode = ParseMode::Tolerant;
+    const serve::EdpmReadResult result = serve::read_edpm(is, options);
+    ASSERT_TRUE(result.model.has_value());
+    EXPECT_FALSE(result.diagnostics.has_errors());
+    EXPECT_GE(result.diagnostics.count(Severity::Warning), 1u);
+    // Prediction-affecting state is untouched by the degraded metadata.
+    EXPECT_EQ(result.model->epoch_time.evaluate(16.0),
+              test_model().epoch_time.evaluate(16.0));
+}
+
+TEST(EdpmSerialize, TolerantSkipsUnknownModelSections) {
+    std::string text = edpm_text(test_model());
+    const std::string extra =
+        "MODEL\tphase.future.train\nPARAMS\t1\tx1\nCONST\t0x1p+0\nENDMODEL\n";
+    text.insert(text.find("END\n"), extra);
+    std::istringstream is(text);
+    serve::EdpmReadOptions options;
+    options.mode = ParseMode::Tolerant;
+    const serve::EdpmReadResult result = serve::read_edpm(is, options);
+    ASSERT_TRUE(result.model.has_value());
+    EXPECT_FALSE(result.diagnostics.has_errors());
+}
+
+TEST(EdpmSerialize, UnknownDatasetQuarantines) {
+    std::string text = edpm_text(test_model());
+    // The dataset name also appears in the free-text PROV line; only the
+    // SPEC record feeds the step-math reconstruction.
+    const std::size_t pos = text.find("SPEC\tCIFAR-10");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos + 5, 8, "NOSUCH-1");
+    std::istringstream is(text);
+    serve::EdpmReadOptions options;
+    options.mode = ParseMode::Tolerant;
+    const serve::EdpmReadResult result = serve::read_edpm(is, options);
+    EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistry, LoadsDirectoryAndQuarantinesCorruptFiles) {
+    const fs::path dir = fresh_dir("load");
+    serve::write_edpm_file((dir / "a.edpm").string(), test_model("model-a"));
+    serve::write_edpm_file((dir / "b.edpm").string(), test_model("model-b"));
+    std::ofstream(dir / "broken.edpm") << "EDPM\t1\ngarbage\n";
+    std::ofstream(dir / "notamodel.txt") << "ignored\n";
+
+    serve::ModelRegistry registry;
+    const serve::RegistryLoadReport report =
+        registry.load_directory(dir.string());
+    EXPECT_EQ(report.loaded, 2);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_NE(registry.find("model-a"), nullptr);
+    EXPECT_NE(registry.find("model-b"), nullptr);
+    EXPECT_EQ(registry.find("nosuch"), nullptr);
+    EXPECT_TRUE(report.diagnostics.has_errors());
+}
+
+TEST(ModelRegistry, DuplicateNameFirstFileWins) {
+    const fs::path dir = fresh_dir("dup");
+    serve::write_edpm_file((dir / "a.edpm").string(), test_model("same"));
+    serve::write_edpm_file((dir / "b.edpm").string(), test_model("same"));
+    serve::ModelRegistry registry;
+    const auto report = registry.load_directory(dir.string());
+    EXPECT_EQ(report.loaded, 1);
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistry, ReloadPicksUpNewAndRemovedFiles) {
+    const fs::path dir = fresh_dir("reload");
+    serve::write_edpm_file((dir / "a.edpm").string(), test_model("model-a"));
+    serve::ModelRegistry registry;
+    registry.load_directory(dir.string());
+    EXPECT_EQ(registry.size(), 1u);
+
+    serve::write_edpm_file((dir / "b.edpm").string(), test_model("model-b"));
+    fs::remove(dir / "a.edpm");
+    const auto report = registry.reload();
+    EXPECT_EQ(report.loaded, 1);
+    EXPECT_EQ(report.removed, 1);
+    EXPECT_EQ(registry.find("model-a"), nullptr);
+    EXPECT_NE(registry.find("model-b"), nullptr);
+}
+
+TEST(ModelRegistry, CorruptReloadKeepsPreviousGoodModel) {
+    const fs::path dir = fresh_dir("corrupt-reload");
+    serve::write_edpm_file((dir / "a.edpm").string(), test_model("model-a"));
+    serve::ModelRegistry registry;
+    registry.load_directory(dir.string());
+    const auto before = registry.find("model-a");
+    ASSERT_NE(before, nullptr);
+
+    std::ofstream(dir / "a.edpm") << "EDPM\t1\nbroken beyond repair\n";
+    const auto report = registry.reload();
+    EXPECT_EQ(report.quarantined, 1);
+    EXPECT_EQ(report.removed, 0);
+    // The previous good model keeps serving (a bad deploy cannot take down
+    // the registry), and handed-out pointers stay valid.
+    const auto after = registry.find("model-a");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after, before);
+}
+
+TEST(ModelRegistry, RejectsMissingDirectory) {
+    serve::ModelRegistry registry;
+    EXPECT_THROW(registry.load_directory("/nonexistent/serve-models"), Error);
+    EXPECT_THROW(registry.reload(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Query engine
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<serve::QueryEngine> engine_over(serve::ServableModel model) {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add(std::make_shared<const serve::ServableModel>(std::move(model)));
+    return std::make_shared<serve::QueryEngine>(std::move(registry));
+}
+
+TEST(QueryEngine, SerializeLoadQueryIsByteIdenticalForEveryKind) {
+    // The headline round-trip property: answers from a model that went
+    // through the on-disk format match the in-memory model byte for byte,
+    // for every query kind.
+    auto memory_engine = engine_over(test_model());
+    std::istringstream is(edpm_text(test_model()));
+    auto loaded_engine = engine_over(serve::read_edpm(is));
+    for (const auto& request : all_kind_requests("cifar10-weak")) {
+        EXPECT_EQ(loaded_engine->execute(request),
+                  memory_engine->execute(request))
+            << request;
+    }
+}
+
+TEST(QueryEngine, ResponsesAreWellFormed) {
+    auto engine = engine_over(test_model());
+    EXPECT_EQ(engine->execute("ping"), "ok pong");
+    EXPECT_EQ(engine->execute("list"), "ok 1 cifar10-weak");
+    EXPECT_EQ(engine->execute("predict cifar10-weak 16").substr(0, 5), "ok t=");
+    EXPECT_EQ(engine->execute("cost cifar10-weak 16").substr(0, 8), "ok cost=");
+    EXPECT_EQ(engine->execute("search cifar10-weak 1e6 1e6 2 4 8")
+                  .substr(0, 8),
+              "ok best=");
+}
+
+TEST(QueryEngine, ErrorsAreResponsesNotExceptions) {
+    auto engine = engine_over(test_model());
+    for (const char* bad : {
+             "",
+             "bogus",
+             "predict",
+             "predict nosuch 16",
+             "predict cifar10-weak notanumber",
+             "predict cifar10-weak -4",
+             "predict cifar10-weak 16 badphase",
+             "speedup cifar10-weak 2",
+             "cost cifar10-weak 16 0",
+             "search cifar10-weak 1e6",
+         }) {
+        std::string response;
+        EXPECT_NO_THROW(response = engine->execute(bad)) << bad;
+        EXPECT_EQ(response.substr(0, 4), "err ") << bad;
+    }
+}
+
+TEST(QueryEngine, CountsRequestsLatencyAndErrors) {
+    auto engine = engine_over(test_model());
+    engine->execute("predict cifar10-weak 16");
+    engine->execute("predict nosuch 16");
+    engine->execute("ping");
+    const auto counters = engine->counters();
+    const auto& predict =
+        counters[static_cast<int>(serve::QueryKind::Predict)];
+    EXPECT_EQ(predict.requests, 2u);
+    EXPECT_EQ(predict.errors, 1u);
+    EXPECT_GE(predict.total_latency_us, predict.max_latency_us);
+    EXPECT_EQ(counters[static_cast<int>(serve::QueryKind::Ping)].requests, 1u);
+    const std::string stats = engine->execute("stats");
+    EXPECT_EQ(stats.substr(0, 3), "ok ");
+    EXPECT_NE(stats.find("predict=2:1:"), std::string::npos) << stats;
+}
+
+TEST(QueryEngine, ReloadRequestRefreshesTheRegistry) {
+    const fs::path dir = fresh_dir("engine-reload");
+    serve::write_edpm_file((dir / "a.edpm").string(), test_model("model-a"));
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->load_directory(dir.string());
+    serve::QueryEngine engine(registry);
+    EXPECT_EQ(engine.execute("list"), "ok 1 model-a");
+    serve::write_edpm_file((dir / "b.edpm").string(), test_model("model-b"));
+    EXPECT_EQ(engine.execute("reload").substr(0, 3), "ok ");
+    EXPECT_EQ(engine.execute("list"), "ok 2 model-a model-b");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+TEST(ServeDaemon, AnswersMatchLibraryByteForByte) {
+    auto engine = engine_over(test_model());
+    serve::ServerOptions options;
+    options.threads = 2;
+    serve::ServeDaemon daemon(engine, options);
+    daemon.start();
+    ASSERT_GT(daemon.port(), 0);
+
+    std::vector<std::string> requests = all_kind_requests("cifar10-weak");
+    requests.emplace_back("predict nosuch 16");  // errors travel too
+    const std::vector<std::string> responses =
+        serve::query_daemon("127.0.0.1", daemon.port(), requests);
+    auto reference = engine_over(test_model());
+    ASSERT_EQ(responses.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(responses[i], reference->execute(requests[i]))
+            << requests[i];
+    }
+    daemon.stop();
+    daemon.wait();
+    EXPECT_FALSE(daemon.running());
+}
+
+TEST(ServeDaemon, ConcurrentClientsGetDeterministicAnswers) {
+    auto engine = engine_over(test_model());
+    serve::ServerOptions options;
+    options.threads = 4;
+    serve::ServeDaemon daemon(engine, options);
+    daemon.start();
+
+    const std::vector<std::string> requests =
+        all_kind_requests("cifar10-weak");
+    auto reference = engine_over(test_model());
+    std::vector<std::string> expected;
+    for (const auto& r : requests) {
+        expected.push_back(reference->execute(r));
+    }
+
+    constexpr int kClients = 8;
+    std::vector<std::vector<std::string>> got(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            got[c] = serve::query_daemon("127.0.0.1", daemon.port(), requests);
+        });
+    }
+    for (auto& t : clients) {
+        t.join();
+    }
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(got[c], expected) << "client " << c;
+    }
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, ShutdownRequestStopsTheDaemon) {
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+    const auto responses =
+        serve::query_daemon("127.0.0.1", daemon.port(), {"ping", "shutdown"});
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[0], "ok pong");
+    EXPECT_EQ(responses[1], "ok bye");
+    daemon.wait();
+    EXPECT_FALSE(daemon.running());
+}
+
+}  // namespace

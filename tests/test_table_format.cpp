@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
@@ -84,4 +87,60 @@ TEST(Format, Coeff) {
     // Tiny magnitudes switch to scientific notation.
     EXPECT_NE(fmt::coeff(1e-7).find("e-"), std::string::npos);
     EXPECT_NE(fmt::coeff(1e9).find("e+"), std::string::npos);
+}
+
+TEST(Format, ShortestRoundTripsEveryBit) {
+    const double cases[] = {0.0,
+                            -0.0,
+                            0.1,
+                            0.1 + 0.2,
+                            1.0 / 3.0,
+                            std::nextafter(1.0, 2.0),
+                            3.141592653589793,
+                            -6.02214076e23,
+                            2.2250738585072014e-308,
+                            1.7976931348623157e308};
+    for (const double v : cases) {
+        const std::string s = fmt::shortest(v);
+        double back = 0.0;
+        ASSERT_TRUE(fmt::parse_double(s, back)) << s;
+        EXPECT_EQ(back, v) << s;
+        EXPECT_EQ(std::signbit(back), std::signbit(v)) << s;
+    }
+    // Shortest means *shortest*: values with a short exact decimal keep it.
+    EXPECT_EQ(fmt::shortest(0.1), "0.1");
+    EXPECT_EQ(fmt::shortest(2.0), "2");
+    EXPECT_EQ(fmt::shortest(0.0), "0");
+}
+
+TEST(Format, ShortestNonFinite) {
+    EXPECT_EQ(fmt::shortest(std::numeric_limits<double>::quiet_NaN()), "nan");
+    EXPECT_EQ(fmt::shortest(std::numeric_limits<double>::infinity()), "inf");
+    EXPECT_EQ(fmt::shortest(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(Format, HexfloatRoundTripsEveryBit) {
+    const double cases[] = {0.0, -0.0, 0.1 + 0.2, 1.0 / 3.0,
+                            std::nextafter(1.0, 2.0), -1.5e-300, 1.5e300};
+    for (const double v : cases) {
+        const std::string s = fmt::hexfloat(v);
+        double back = 0.0;
+        ASSERT_TRUE(fmt::parse_double(s, back)) << s;
+        EXPECT_EQ(back, v) << s;
+        EXPECT_EQ(std::signbit(back), std::signbit(v)) << s;
+    }
+}
+
+TEST(Format, ParseDoubleRejectsJunk) {
+    double v = 0.0;
+    EXPECT_FALSE(fmt::parse_double("", v));
+    EXPECT_FALSE(fmt::parse_double("12x", v));
+    EXPECT_FALSE(fmt::parse_double("1.5 ", v));
+    EXPECT_FALSE(fmt::parse_double("1e999", v));  // overflow, not literal inf
+    EXPECT_TRUE(fmt::parse_double("inf", v));
+    EXPECT_TRUE(std::isinf(v));
+    EXPECT_TRUE(fmt::parse_double("nan", v));
+    EXPECT_TRUE(std::isnan(v));
+    EXPECT_TRUE(fmt::parse_double("0x1.8p+1", v));
+    EXPECT_EQ(v, 3.0);
 }
