@@ -11,6 +11,7 @@
 #include "aggregation/aggregate.hpp"
 #include "common/rng.hpp"
 #include "modeling/fitter.hpp"
+#include "obs/trace.hpp"
 #include "profiling/edp_io.hpp"
 #include "profiling/profiler.hpp"
 #include "serve/query.hpp"
@@ -192,6 +193,35 @@ void BM_ServeQuery(benchmark::State& state) {
                             static_cast<std::int64_t>(requests.size()));
 }
 BENCHMARK(BM_ServeQuery)->Threads(1)->Threads(4)->Unit(benchmark::kMicrosecond);
+
+// Cost of one obs::Span construction+destruction. Arg(0) is the disabled
+// path (a relaxed atomic load and a branch — the tax every instrumented
+// call site pays in normal runs; the ISSUE budget is <= 5 ns/op), Arg(1)
+// the enabled path (full record into the per-thread buffer). The enabled
+// variant clears the tracer periodically so a long --benchmark_min_time
+// run cannot grow the span buffers without bound.
+void BM_ObsSpanOverhead(benchmark::State& state) {
+    const bool enabled = state.range(0) != 0;
+    obs::set_trace_enabled(enabled);
+    std::uint64_t sinceClear = 0;
+    for (auto _ : state) {
+        {
+            const obs::Span span{"bench.span"};
+            benchmark::DoNotOptimize(span);
+        }
+        if (enabled && ++sinceClear >= (1u << 20)) {
+            state.PauseTiming();
+            obs::global_tracer().clear();
+            sinceClear = 0;
+            state.ResumeTiming();
+        }
+    }
+    obs::set_trace_enabled(false);
+    obs::global_tracer().clear();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(enabled ? "enabled" : "disabled");
+}
+BENCHMARK(BM_ObsSpanOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
 
 void BM_EpochMeasurement(benchmark::State& state) {
     const sim::TrainingSimulator simulator(bench_workload(32));

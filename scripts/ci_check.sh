@@ -13,29 +13,33 @@ cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/5] Release build + full test suite =="
+echo "== [1/6] Release build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default -j "${jobs}"
 
-echo "== [2/5] Accuracy harness (quick suite + calibrated thresholds) =="
+echo "== [2/6] Accuracy harness (quick suite + calibrated thresholds) =="
 ./build/src/eval/extradeep-eval --quick \
     --thresholds "${repo_root}/eval_thresholds.json"
 
-echo "== [3/5] Serving smoke: fit -> .edpm -> daemon -> client =="
+echo "== [3/6] Serving smoke: fit -> .edpm -> daemon -> client =="
 scripts/serve_smoke.sh ./build/src/serve/extradeep-serve
 
+echo "== [4/6] Observability smoke: traced fit, validated artifacts =="
+scripts/obs_smoke.sh ./build/src/serve/extradeep-serve \
+    ./build/src/eval/extradeep-eval
+
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-    echo "== [4/5] ASan+UBSan build + sanitize_smoke suite =="
+    echo "== [5/6] ASan+UBSan build + sanitize_smoke suite =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${jobs}"
     ctest --preset sanitize-smoke -j "${jobs}"
 
-    echo "== [5/5] Accuracy harness under sanitizers =="
+    echo "== [6/6] Accuracy harness under sanitizers =="
     ./build-sanitize/src/eval/extradeep-eval --quick \
         --thresholds "${repo_root}/eval_thresholds.json"
 else
-    echo "== [4-5/5] skipped (SKIP_SANITIZE=1) =="
+    echo "== [5-6/6] skipped (SKIP_SANITIZE=1) =="
 fi
 
 echo "ci_check: all green"

@@ -74,6 +74,40 @@ if grep -q '^err ' "${workdir}/daemon.out"; then
     exit 1
 fi
 
+echo "== deterministic stats/metrics: daemon vs library mode =="
+# Under --fake-clock every request costs exactly STEP_US, so the stats and
+# metrics responses depend only on the request sequence - byte-identical
+# between a fresh daemon and offline ask mode.
+det_requests=("${requests[@]}" "stats" "metrics")
+"${serve_bin}" serve --models "${workdir}" --threads 1 --fake-clock 5 \
+    > "${workdir}/serve_det.log" 2>&1 &
+det_pid=$!
+det_port=""
+for _ in $(seq 1 100); do
+    det_port="$(sed -n 's/^LISTENING \([0-9]*\)$/\1/p' "${workdir}/serve_det.log")"
+    [[ -n "${det_port}" ]] && break
+    kill -0 "${det_pid}" 2>/dev/null || {
+        echo "FAIL: deterministic daemon died"; cat "${workdir}/serve_det.log"
+        exit 1
+    }
+    sleep 0.1
+done
+[[ -n "${det_port}" ]] || { echo "FAIL: no LISTENING line (det)"; exit 1; }
+"${serve_bin}" query --port "${det_port}" "${det_requests[@]}" \
+    > "${workdir}/daemon_det.out"
+"${serve_bin}" query --port "${det_port}" shutdown | grep -qx "ok bye"
+wait "${det_pid}" || { echo "FAIL: det daemon exited non-zero"; exit 1; }
+"${serve_bin}" ask --models "${workdir}" --fake-clock 5 "${det_requests[@]}" \
+    > "${workdir}/ask_det.out" 2>/dev/null
+if ! diff -u "${workdir}/ask_det.out" "${workdir}/daemon_det.out"; then
+    echo "FAIL: stats/metrics differ between daemon and library mode"
+    exit 1
+fi
+grep -q 'extradeep_serve_query_latency_us_bucket' "${workdir}/daemon_det.out" || {
+    echo "FAIL: metrics response lacks latency histogram samples"
+    exit 1
+}
+
 echo "== protocol shutdown =="
 "${serve_bin}" query --port "${port}" shutdown | grep -qx "ok bye"
 for _ in $(seq 1 100); do

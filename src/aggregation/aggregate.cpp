@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 #include "trace/timeline.hpp"
 
 namespace extradeep::aggregation {
@@ -113,6 +114,7 @@ std::map<std::string, std::pair<KernelCategory, Value6>> aggregate_rank(
 
 ConfigurationData aggregate_runs(std::span<const profiling::ProfiledRun> runs,
                                  const AggregationOptions& options) {
+    const obs::Span span{"aggregate.runs"};
     if (runs.empty()) {
         throw InvalidArgumentError("aggregate_runs: no runs");
     }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "trace/timeline.hpp"
 
 namespace extradeep::aggregation {
@@ -138,6 +139,7 @@ RunVerdict validate_run(const profiling::ProfiledRun& run,
 ExperimentVerdict validate_experiment(
     std::span<const std::vector<profiling::ProfiledRun>> configs,
     const ExperimentValidationOptions& options) {
+    const obs::Span span{"validate.experiment"};
     ExperimentVerdict out;
     out.keep_run.reserve(configs.size());
     out.keep_config.reserve(configs.size());

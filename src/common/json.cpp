@@ -1,0 +1,212 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace extradeep::json {
+
+const Value* Value::find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+        if (k == key) {
+            return &v;
+        }
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+    Parser(const std::string& text, const std::string& context)
+        : text_(text), context_(context) {}
+
+    Value parse() {
+        Value v = value();
+        skip_ws();
+        if (pos_ != text_.size()) {
+            fail("trailing data after JSON document");
+        }
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError(context_ + ": " + what + " at offset " +
+                         std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        skip_ws();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+        }
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) {
+            fail(std::string("expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    bool consume_literal(const char* lit) {
+        const std::size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value value() {
+        const char c = peek();
+        Value v;
+        if (c == '{') {
+            ++pos_;
+            v.kind = Value::Kind::Object;
+            if (peek() == '}') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                if (peek() != '"') {
+                    fail("object key must be a string");
+                }
+                std::string key = parse_string();
+                expect(':');
+                v.object.emplace_back(std::move(key), value());
+                const char next = peek();
+                if (next == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                return v;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            v.kind = Value::Kind::Array;
+            if (peek() == ']') {
+                ++pos_;
+                return v;
+            }
+            while (true) {
+                v.array.push_back(value());
+                const char next = peek();
+                if (next == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                return v;
+            }
+        }
+        if (c == '"') {
+            v.kind = Value::Kind::String;
+            v.string = parse_string();
+            return v;
+        }
+        if (consume_literal("true")) {
+            v.kind = Value::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consume_literal("false")) {
+            v.kind = Value::Kind::Bool;
+            return v;
+        }
+        if (consume_literal("null")) {
+            return v;
+        }
+        // Number: parse with from_chars (locale independent).
+        v.kind = Value::Kind::Number;
+        const char* begin = text_.data() + pos_;
+        const char* end = text_.data() + text_.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, v.number);
+        if (ec != std::errc{} || ptr == begin) {
+            fail("invalid number");
+        }
+        pos_ += static_cast<std::size_t>(ptr - begin);
+        return v;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') {
+                return out;
+            }
+            if (c == '\\') {
+                if (pos_ >= text_.size()) {
+                    break;
+                }
+                const char esc = text_[pos_++];
+                switch (esc) {
+                    case '"': out += '"'; break;
+                    case '\\': out += '\\'; break;
+                    case '/': out += '/'; break;
+                    case 'n': out += '\n'; break;
+                    case 't': out += '\t'; break;
+                    case 'r': out += '\r'; break;
+                    default: fail("unsupported string escape");
+                }
+                continue;
+            }
+            out += c;
+        }
+        fail("unterminated string");
+    }
+
+    const std::string& text_;
+    const std::string& context_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text, const std::string& context) {
+    return Parser(text, context).parse();
+}
+
+std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default: out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string number(double v) {
+    if (!std::isfinite(v)) {
+        throw InvalidArgumentError("json::number: non-finite value");
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+}  // namespace extradeep::json

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace extradeep::json {
+
+/// Minimal hand-rolled JSON support shared by the eval report layer (the
+/// BENCH_eval.json schema and the thresholds gate) and the observability
+/// subsystem (Chrome trace-event export and its validation in tests). It
+/// supports objects, arrays, strings (with the common escapes), numbers,
+/// booleans and null - enough for those schemas while rejecting malformed
+/// documents loudly. No dependency is taken on a JSON library by design:
+/// the container image is fixed and the formats involved are tiny.
+
+struct Value {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::vector<std::pair<std::string, Value>> object;
+
+    /// Object member lookup; nullptr if absent (or not an object).
+    const Value* find(const std::string& key) const;
+};
+
+/// Parses one complete JSON document. `context` prefixes every ParseError
+/// message (e.g. "thresholds JSON"), so callers keep their original error
+/// wording. Throws ParseError on malformed input or trailing data.
+Value parse(const std::string& text, const std::string& context = "JSON");
+
+/// Serialises a string with JSON quoting/escaping (the inverse of the
+/// escapes parse() accepts), including the surrounding quotes.
+std::string quote(const std::string& s);
+
+/// Locale-independent compact number rendering for JSON output. Throws
+/// InvalidArgumentError on non-finite values (JSON has no encoding for
+/// them).
+std::string number(double v);
+
+}  // namespace extradeep::json

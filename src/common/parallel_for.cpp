@@ -1,8 +1,25 @@
 #include "common/parallel_for.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace extradeep {
+
+namespace {
+
+/// Release/acquire publication: the hook struct's fields must be visible to
+/// worker threads that observe the pointer.
+std::atomic<const TaskContextHook*> g_task_context_hook{nullptr};
+
+}  // namespace
+
+void set_task_context_hook(const TaskContextHook* hook) {
+    g_task_context_hook.store(hook, std::memory_order_release);
+}
+
+const TaskContextHook* task_context_hook() {
+    return g_task_context_hook.load(std::memory_order_acquire);
+}
 
 int resolve_num_threads(int requested) {
     if (requested >= 1) {
@@ -48,10 +65,18 @@ void ThreadPool::run_chunk(int chunk_index) {
     if (begin >= end) {
         return;
     }
+    const TaskContextHook* hook = task_context_hook();
+    std::uint64_t previous = 0;
+    if (hook != nullptr) {
+        previous = hook->install(job_context_);
+    }
     try {
         (*job_body_)(chunk_index, begin, end);
     } catch (...) {
         record_error(chunk_index, std::current_exception());
+    }
+    if (hook != nullptr) {
+        hook->restore(previous);
     }
 }
 
@@ -91,9 +116,11 @@ void ThreadPool::parallel_for(
         body(0, 0, count);
         return;
     }
+    const TaskContextHook* hook = task_context_hook();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         job_count_ = count;
+        job_context_ = hook != nullptr ? hook->capture() : 0;
         job_body_ = &body;
         error_chunk_ = -1;
         error_ = nullptr;

@@ -15,6 +15,31 @@ namespace extradeep {
 /// else (0 or negative) means "use the hardware concurrency" (at least 1).
 int resolve_num_threads(int requested);
 
+/// Caller-context propagation for parallel_for, so higher layers can carry
+/// thread-local ambient state (e.g. the observability tracer's current-span
+/// id, src/obs) from the dispatching thread onto the worker threads without
+/// this low-level library depending on them.
+///
+/// `capture` runs on the calling thread at parallel_for dispatch and
+/// returns an opaque token; around every chunk, `install(token)` runs on
+/// the executing thread (returning that thread's previous token) and
+/// `restore(previous)` afterwards, exception paths included. All three are
+/// plain function pointers: when no hook is registered the cost is one
+/// relaxed atomic load per parallel_for, and hook implementations are
+/// expected to be a thread-local read/write each.
+struct TaskContextHook {
+    std::uint64_t (*capture)();
+    std::uint64_t (*install)(std::uint64_t token);
+    void (*restore)(std::uint64_t previous);
+};
+
+/// Registers the process-wide hook (static storage required; pass nullptr
+/// to deregister). Registering the same hook again is a no-op, so multiple
+/// initialisation paths may race benignly; registering a *different* hook
+/// while parallel loops are in flight is not supported.
+void set_task_context_hook(const TaskContextHook* hook);
+const TaskContextHook* task_context_hook();
+
 /// A small reusable fork-join thread pool for data-parallel loops. Workers
 /// are spawned once and reused across parallel_for calls, so the pool can be
 /// hoisted out of hot loops (e.g. one pool per model-generation pass).
@@ -61,6 +86,7 @@ private:
 
     // State of the in-flight parallel_for.
     std::size_t job_count_ = 0;
+    std::uint64_t job_context_ = 0;  ///< TaskContextHook token of the caller
     const std::function<void(int, std::size_t, std::size_t)>* job_body_ = nullptr;
     int error_chunk_ = -1;
     std::exception_ptr error_;

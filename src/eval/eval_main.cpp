@@ -20,13 +20,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "eval/oracle.hpp"
 #include "eval/report.hpp"
 #include "eval/scorer.hpp"
+#include "obs/session.hpp"
+#include "profiling/edp_io.hpp"
 
 using namespace extradeep;
 
@@ -37,7 +41,8 @@ void usage(const char* argv0) {
         stderr,
         "usage: %s [--quick] [--case NAME]... [--noise S1,S2,...] [--seed N]\n"
         "          [--threads N] [--out FILE] [--thresholds FILE]\n"
-        "          [--keep-files] [--list]\n",
+        "          [--keep-files] [--list] [--trace SPEC]\n"
+        "          [--validate-json FILE] [--validate-edp FILE]\n",
         argv0);
 }
 
@@ -85,6 +90,44 @@ std::string git_revision() {
     return rev;
 }
 
+/// CI helper: parse FILE with the common JSON parser; exit 0 iff it is one
+/// well-formed document. Lets scripts validate Chrome trace exports without
+/// relying on an external JSON tool.
+int validate_json_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const json::Value doc = json::parse(buffer.str(), path);
+    const char* kind = doc.kind == json::Value::Kind::Object   ? "object"
+                       : doc.kind == json::Value::Kind::Array  ? "array"
+                       : doc.kind == json::Value::Kind::String ? "string"
+                                                               : "scalar";
+    std::printf("%s: valid JSON (top-level %s)\n", path.c_str(), kind);
+    return 0;
+}
+
+/// CI helper: strict-parse FILE as an EDP profile (the self-profiling
+/// round-trip check). Exit 0 iff it reads back cleanly.
+int validate_edp_file(const std::string& path) {
+    const profiling::ProfiledRun run = profiling::read_edp_file(path);
+    std::size_t events = 0;
+    for (const auto& rank : run.ranks) {
+        events += rank.events.size();
+    }
+    std::string params;
+    for (const auto& [name, value] : run.params) {
+        params += (params.empty() ? "" : " ") + name + "=" +
+                  std::to_string(value);
+    }
+    std::printf("%s: valid EDP (%zu rank(s), %zu event(s), params: %s)\n",
+                path.c_str(), run.ranks.size(), events, params.c_str());
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +138,10 @@ int main(int argc, char** argv) {
     std::vector<double> noise_levels;
     std::string out_path;
     std::string thresholds_path;
+    std::string trace_spec;
+    bool trace_given = false;
+    std::string validate_json_path;
+    std::string validate_edp_path;
     eval::ScoreOptions options;
 
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +172,13 @@ int main(int argc, char** argv) {
                 out_path = next_value("--out");
             } else if (arg == "--thresholds") {
                 thresholds_path = next_value("--thresholds");
+            } else if (arg == "--trace") {
+                trace_spec = next_value("--trace");
+                trace_given = true;
+            } else if (arg == "--validate-json") {
+                validate_json_path = next_value("--validate-json");
+            } else if (arg == "--validate-edp") {
+                validate_edp_path = next_value("--validate-edp");
             } else if (arg == "-h" || arg == "--help") {
                 usage(argv[0]);
                 return 0;
@@ -141,6 +195,23 @@ int main(int argc, char** argv) {
     options.keep_files = keep_files;
 
     try {
+        if (!validate_json_path.empty()) {
+            return validate_json_file(validate_json_path);
+        }
+        if (!validate_edp_path.empty()) {
+            return validate_edp_file(validate_edp_path);
+        }
+
+        obs::ObsConfig obs_config = trace_given
+                                        ? obs::parse_obs_config(trace_spec)
+                                        : obs::obs_config_from_env();
+        const bool default_x1 =
+            obs_config.params.find("x1") == obs_config.params.end();
+        obs::ObsSession session(std::move(obs_config));
+        if (session.config().enabled && default_x1) {
+            session.set_param("x1", static_cast<double>(options.fit_threads));
+        }
+
         std::vector<eval::OracleCase> cases =
             quick ? eval::quick_oracle_cases() : eval::default_oracle_cases();
         if (!only_cases.empty()) {

@@ -1,6 +1,5 @@
 #include "eval/report.hpp"
 
-#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -8,218 +7,12 @@
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 
 namespace extradeep::eval {
 
 namespace {
-
-/// Locale-independent compact number rendering for JSON output.
-std::string json_number(double v) {
-    if (!std::isfinite(v)) {
-        throw InvalidArgumentError("bench_json: non-finite metric value");
-    }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
-std::string json_string(const std::string& s) {
-    std::string out = "\"";
-    for (const char c : s) {
-        switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\n': out += "\\n"; break;
-            case '\t': out += "\\t"; break;
-            case '\r': out += "\\r"; break;
-            default: out += c;
-        }
-    }
-    out += '"';
-    return out;
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the thresholds file. Supports objects, arrays,
-// strings (with the common escapes), numbers, booleans and null - enough for
-// the gate schema while rejecting malformed documents loudly.
-
-struct JsonValue {
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue* find(const std::string& key) const {
-        for (const auto& [k, v] : object) {
-            if (k == key) {
-                return &v;
-            }
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser {
-public:
-    explicit JsonParser(const std::string& text) : text_(text) {}
-
-    JsonValue parse() {
-        JsonValue v = value();
-        skip_ws();
-        if (pos_ != text_.size()) {
-            fail("trailing data after JSON document");
-        }
-        return v;
-    }
-
-private:
-    [[noreturn]] void fail(const std::string& what) const {
-        throw ParseError("thresholds JSON: " + what + " at offset " +
-                         std::to_string(pos_));
-    }
-
-    void skip_ws() {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r')) {
-            ++pos_;
-        }
-    }
-
-    char peek() {
-        skip_ws();
-        if (pos_ >= text_.size()) {
-            fail("unexpected end of input");
-        }
-        return text_[pos_];
-    }
-
-    void expect(char c) {
-        if (peek() != c) {
-            fail(std::string("expected '") + c + "'");
-        }
-        ++pos_;
-    }
-
-    bool consume_literal(const char* lit) {
-        const std::size_t n = std::char_traits<char>::length(lit);
-        if (text_.compare(pos_, n, lit) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue value() {
-        const char c = peek();
-        JsonValue v;
-        if (c == '{') {
-            ++pos_;
-            v.kind = JsonValue::Kind::Object;
-            if (peek() == '}') {
-                ++pos_;
-                return v;
-            }
-            while (true) {
-                if (peek() != '"') {
-                    fail("object key must be a string");
-                }
-                std::string key = parse_string();
-                expect(':');
-                v.object.emplace_back(std::move(key), value());
-                const char next = peek();
-                if (next == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect('}');
-                return v;
-            }
-        }
-        if (c == '[') {
-            ++pos_;
-            v.kind = JsonValue::Kind::Array;
-            if (peek() == ']') {
-                ++pos_;
-                return v;
-            }
-            while (true) {
-                v.array.push_back(value());
-                const char next = peek();
-                if (next == ',') {
-                    ++pos_;
-                    continue;
-                }
-                expect(']');
-                return v;
-            }
-        }
-        if (c == '"') {
-            v.kind = JsonValue::Kind::String;
-            v.string = parse_string();
-            return v;
-        }
-        if (consume_literal("true")) {
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (consume_literal("false")) {
-            v.kind = JsonValue::Kind::Bool;
-            return v;
-        }
-        if (consume_literal("null")) {
-            return v;
-        }
-        // Number: parse with from_chars (locale independent).
-        v.kind = JsonValue::Kind::Number;
-        const char* begin = text_.data() + pos_;
-        const char* end = text_.data() + text_.size();
-        const auto [ptr, ec] = std::from_chars(begin, end, v.number);
-        if (ec != std::errc{} || ptr == begin) {
-            fail("invalid number");
-        }
-        pos_ += static_cast<std::size_t>(ptr - begin);
-        return v;
-    }
-
-    std::string parse_string() {
-        expect('"');
-        std::string out;
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"') {
-                return out;
-            }
-            if (c == '\\') {
-                if (pos_ >= text_.size()) {
-                    break;
-                }
-                const char esc = text_[pos_++];
-                switch (esc) {
-                    case '"': out += '"'; break;
-                    case '\\': out += '\\'; break;
-                    case '/': out += '/'; break;
-                    case 'n': out += '\n'; break;
-                    case 't': out += '\t'; break;
-                    case 'r': out += '\r'; break;
-                    default: fail("unsupported string escape");
-                }
-                continue;
-            }
-            out += c;
-        }
-        fail("unterminated string");
-    }
-
-    const std::string& text_;
-    std::size_t pos_ = 0;
-};
 
 void add_record(std::vector<MetricRecord>& out, const CaseScore& s,
                 const std::string& metric, double value) {
@@ -283,14 +76,14 @@ std::string bench_json(const std::vector<MetricRecord>& records,
     std::ostringstream os;
     os << "{\n";
     os << "  \"schema\": \"extradeep-eval/1\",\n";
-    os << "  \"git_rev\": " << json_string(git_rev) << ",\n";
+    os << "  \"git_rev\": " << json::quote(git_rev) << ",\n";
     os << "  \"records\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {
         const MetricRecord& r = records[i];
-        os << "    {\"case\": " << json_string(r.case_name)
-           << ", \"noise\": " << json_number(r.noise)
-           << ", \"metric\": " << json_string(r.metric)
-           << ", \"value\": " << json_number(r.value)
+        os << "    {\"case\": " << json::quote(r.case_name)
+           << ", \"noise\": " << json::number(r.noise)
+           << ", \"metric\": " << json::quote(r.metric)
+           << ", \"value\": " << json::number(r.value)
            << ", \"seed\": " << r.seed << "}"
            << (i + 1 < records.size() ? "," : "") << "\n";
     }
@@ -299,49 +92,48 @@ std::string bench_json(const std::vector<MetricRecord>& records,
 }
 
 std::vector<Threshold> parse_thresholds(const std::string& json_text) {
-    JsonParser parser(json_text);
-    const JsonValue doc = parser.parse();
-    if (doc.kind != JsonValue::Kind::Object) {
+    const json::Value doc = json::parse(json_text, "thresholds JSON");
+    if (doc.kind != json::Value::Kind::Object) {
         throw ParseError("thresholds JSON: top level must be an object");
     }
-    const JsonValue* list = doc.find("thresholds");
-    if (list == nullptr || list->kind != JsonValue::Kind::Array) {
+    const json::Value* list = doc.find("thresholds");
+    if (list == nullptr || list->kind != json::Value::Kind::Array) {
         throw ParseError(
             "thresholds JSON: missing \"thresholds\" array");
     }
     std::vector<Threshold> out;
     out.reserve(list->array.size());
-    for (const JsonValue& entry : list->array) {
-        if (entry.kind != JsonValue::Kind::Object) {
+    for (const json::Value& entry : list->array) {
+        if (entry.kind != json::Value::Kind::Object) {
             throw ParseError("thresholds JSON: rule must be an object");
         }
         Threshold t;
-        if (const JsonValue* v = entry.find("case")) {
-            if (v->kind != JsonValue::Kind::String) {
+        if (const json::Value* v = entry.find("case")) {
+            if (v->kind != json::Value::Kind::String) {
                 throw ParseError("thresholds JSON: \"case\" must be a string");
             }
             t.case_name = v->string;
         }
-        if (const JsonValue* v = entry.find("noise")) {
-            if (v->kind != JsonValue::Kind::Number) {
+        if (const json::Value* v = entry.find("noise")) {
+            if (v->kind != json::Value::Kind::Number) {
                 throw ParseError("thresholds JSON: \"noise\" must be a number");
             }
             t.noise = v->number;
         }
-        const JsonValue* metric = entry.find("metric");
-        if (metric == nullptr || metric->kind != JsonValue::Kind::String ||
+        const json::Value* metric = entry.find("metric");
+        if (metric == nullptr || metric->kind != json::Value::Kind::String ||
             metric->string.empty()) {
             throw ParseError("thresholds JSON: rule lacks a \"metric\" string");
         }
         t.metric = metric->string;
-        if (const JsonValue* v = entry.find("min")) {
-            if (v->kind != JsonValue::Kind::Number) {
+        if (const json::Value* v = entry.find("min")) {
+            if (v->kind != json::Value::Kind::Number) {
                 throw ParseError("thresholds JSON: \"min\" must be a number");
             }
             t.min = v->number;
         }
-        if (const JsonValue* v = entry.find("max")) {
-            if (v->kind != JsonValue::Kind::Number) {
+        if (const json::Value* v = entry.find("max")) {
+            if (v->kind != json::Value::Kind::Number) {
                 throw ParseError("thresholds JSON: \"max\" must be a number");
             }
             t.max = v->number;
@@ -387,14 +179,14 @@ GateResult check_gate(const std::vector<MetricRecord>& records,
             ++matched;
             std::ostringstream where;
             where << r.case_name << " @ noise " << fmt::fixed(r.noise, 3)
-                  << ": " << r.metric << " = " << json_number(r.value);
+                  << ": " << r.metric << " = " << json::number(r.value);
             if (t.min && r.value < *t.min) {
                 result.violations.push_back(where.str() + " < min " +
-                                            json_number(*t.min));
+                                            json::number(*t.min));
             }
             if (t.max && r.value > *t.max) {
                 result.violations.push_back(where.str() + " > max " +
-                                            json_number(*t.max));
+                                            json::number(*t.max));
             }
         }
         if (matched == 0) {

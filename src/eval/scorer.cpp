@@ -3,7 +3,6 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <map>
@@ -15,6 +14,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "extradeep/ingest.hpp"
+#include "obs/trace.hpp"
 #include "profiling/edp_io.hpp"
 
 namespace extradeep::eval {
@@ -206,6 +206,7 @@ double fresh_observation(const OracleCase& oracle,
 }  // namespace
 
 CaseScore score_case(const OracleCase& oracle, const ScoreOptions& options) {
+    const obs::Span case_span{"eval.score_case"};
     if (oracle.points.empty()) {
         throw InvalidArgumentError("score_case: case without measurement points");
     }
@@ -259,11 +260,13 @@ CaseScore score_case(const OracleCase& oracle, const ScoreOptions& options) {
     modeling::FitOptions fit_options;
     fit_options.num_threads = options.fit_threads;
     const modeling::ModelGenerator generator(fit_options);
-    const auto t0 = std::chrono::steady_clock::now();
+    const obs::Clock& clock =
+        options.clock != nullptr ? *options.clock : obs::steady_clock_instance();
+    const std::uint64_t t0 = clock.now_ns();
     const modeling::PerformanceModel fitted = generator.fit(
         recovered.points, recovered.values, oracle.truth.param_names());
-    const auto t1 = std::chrono::steady_clock::now();
-    score.fit_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const std::uint64_t t1 = clock.now_ns();
+    score.fit_seconds = static_cast<double>(t1 - t0) * 1e-9;
     score.hypotheses_searched = fitted.quality().hypotheses_searched;
     score.hypotheses_per_sec =
         static_cast<double>(score.hypotheses_searched) /

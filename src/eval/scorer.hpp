@@ -6,6 +6,7 @@
 
 #include "eval/oracle.hpp"
 #include "modeling/fitter.hpp"
+#include "obs/clock.hpp"
 
 namespace extradeep::eval {
 
@@ -25,6 +26,10 @@ struct ScoreOptions {
     double confidence = 0.95;
     /// Fresh aggregated observations drawn per coverage point.
     int coverage_draws = 20;
+    /// Time source for fit_seconds / hypotheses_per_sec (nullptr means the
+    /// shared steady clock). Tests inject an obs::FakeClock to make timing
+    /// fields deterministic.
+    const obs::Clock* clock = nullptr;
 };
 
 /// All metrics of one (case, noise) evaluation. `extrap_error[i]` is the

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace extradeep {
 
@@ -22,6 +24,7 @@ std::string IngestResult::summary() const {
 IngestResult ingest_runs(
     std::span<const std::vector<profiling::ProfiledRun>> configs,
     const IngestOptions& options) {
+    const obs::Span ingest_span{"ingest.runs"};
     IngestResult result;
     result.data = aggregation::ExperimentData(options.primary_parameter);
     result.configs_total = configs.size();
@@ -29,8 +32,10 @@ IngestResult ingest_runs(
         result.runs_total += runs.size();
     }
 
-    aggregation::ExperimentVerdict verdict =
-        aggregation::validate_experiment(configs, options.validation);
+    aggregation::ExperimentVerdict verdict = [&] {
+        const obs::Span validate_span{"ingest.validate_experiment"};
+        return aggregation::validate_experiment(configs, options.validation);
+    }();
     result.diagnostics.merge(verdict.diagnostics);
 
     for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -47,6 +52,7 @@ IngestResult ingest_runs(
         // Validation guarantees aggregate_runs preconditions, but keep the
         // drop-not-throw contract even if an invariant slips through.
         try {
+            const obs::Span aggregate_span{"ingest.aggregate_config"};
             result.data.add(
                 aggregation::aggregate_runs(kept, options.aggregation));
         } catch (const Error& e) {
@@ -58,11 +64,21 @@ IngestResult ingest_runs(
         result.configs_kept += 1;
         result.runs_kept += kept.size();
     }
+    if (obs::trace_enabled()) {
+        obs::MetricsRegistry& metrics = obs::global_metrics();
+        metrics.counter("extradeep_ingest_runs_total")
+            .increment(result.runs_total);
+        metrics.counter("extradeep_ingest_runs_dropped_total")
+            .increment(result.runs_total - result.runs_kept);
+        metrics.counter("extradeep_ingest_configs_total")
+            .increment(result.configs_total);
+    }
     return result;
 }
 
 IngestResult ingest_edp_files(std::span<const std::string> paths,
                               const IngestOptions& options) {
+    const obs::Span files_span{"ingest.edp_files"};
     profiling::EdpReadOptions read_options;
     read_options.mode = options.mode;
 
@@ -76,6 +92,7 @@ IngestResult ingest_edp_files(std::span<const std::string> paths,
     for (const auto& path : paths) {
         profiling::EdpReadResult parsed;
         try {
+            const obs::Span read_span{"ingest.read_edp"};
             parsed = profiling::read_edp_file(path, read_options);
         } catch (const Error& e) {
             // Strict mode rethrows: fail fast is the contract there.

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "obs/trace.hpp"
 
 namespace extradeep {
 
@@ -75,6 +76,7 @@ ExperimentResult ExperimentRunner::run() const {
 
 ExperimentResult ExperimentRunner::run(
     const modeling::ModelGenerator& generator) const {
+    const obs::Span run_span{"runner.experiment"};
     ExperimentResult result;
     const profiling::Profiler profiler(spec_.sampling);
     aggregation::AggregationOptions agg_opts;
@@ -84,10 +86,14 @@ ExperimentResult ExperimentRunner::run(
         const sim::TrainingSimulator simulator(workload_for(ranks));
         std::vector<profiling::ProfiledRun> runs;
         runs.reserve(spec_.repetitions);
-        for (int rep = 0; rep < spec_.repetitions; ++rep) {
-            runs.push_back(profiler.profile(simulator, params_for(ranks), rep,
-                                            spec_.seed));
+        {
+            const obs::Span profile_span{"runner.profile_point"};
+            for (int rep = 0; rep < spec_.repetitions; ++rep) {
+                runs.push_back(profiler.profile(simulator, params_for(ranks),
+                                                rep, spec_.seed));
+            }
         }
+        const obs::Span aggregate_span{"runner.aggregate_point"};
         result.data.add(aggregation::aggregate_runs(runs, agg_opts));
         result.step_math[ranks] = simulator.step_math();
     }
@@ -127,6 +133,7 @@ ExperimentResult ExperimentRunner::run(
         total_train.push_back(train_sum);
         total_val.push_back(val_sum);
     }
+    const obs::Span fit_span{"runner.fit_models"};
     result.epoch_time =
         EpochModel(generator.fit(result.modeling_xs, total_train),
                    generator.fit(result.modeling_xs, total_val),

@@ -10,6 +10,8 @@
 #include "common/error.hpp"
 #include "common/parallel_for.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace extradeep::modeling {
 
@@ -296,6 +298,7 @@ PerformanceModel ModelGenerator::fit(
     const std::vector<std::vector<double>>& points,
     const std::vector<double>& values,
     std::vector<std::string> param_names) const {
+    const obs::Span fit_span{"fit.model"};
     if (points.size() != values.size()) {
         throw InvalidArgumentError("ModelGenerator::fit: size mismatch");
     }
@@ -423,10 +426,20 @@ PerformanceModel ModelGenerator::fit(
     };
     std::vector<ChunkBest> chunk_best(static_cast<std::size_t>(threads));
     std::vector<FitScratch> scratch(static_cast<std::size_t>(threads));
+    if (obs::trace_enabled()) {
+        obs::global_metrics()
+            .counter("extradeep_fit_hypotheses_total")
+            .increment(hypotheses.size());
+        obs::global_metrics().counter("extradeep_fit_models_total").increment();
+    }
     ThreadPool pool(threads);
     pool.parallel_for(
         hypotheses.size(),
         [&](int chunk, std::size_t begin, std::size_t end) {
+            // Per-chunk span: under the TaskContextHook these nest below
+            // fit.model even on worker threads, so the exported trace shows
+            // the search's parallel structure per thread.
+            const obs::Span chunk_span{"fit.hypothesis_chunk"};
             ChunkBest& best = chunk_best[static_cast<std::size_t>(chunk)];
             FitScratch& chunk_scratch = scratch[static_cast<std::size_t>(chunk)];
             for (std::size_t i = begin; i < end; ++i) {

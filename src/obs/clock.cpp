@@ -1,0 +1,21 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace extradeep::obs {
+
+std::uint64_t SteadyClock::now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const Clock& steady_clock_instance() {
+    // constinit-style: SteadyClock has no state, so a function-local static
+    // is initialised without locking concerns and never destroyed-before-use.
+    static const SteadyClock clock;
+    return clock;
+}
+
+}  // namespace extradeep::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace extradeep::obs {
+
+/// Injectable monotonic time source for the observability subsystem. All
+/// span timestamps, latency histograms and self-profiling exports go
+/// through this interface so tests can substitute a deterministic clock
+/// (FakeClock) and every derived artifact - Chrome traces, text summaries,
+/// stats percentiles, synthetic .edp runs - becomes byte-reproducible.
+///
+/// Implementations must be thread-safe: now_ns() is called concurrently
+/// from every traced thread.
+class Clock {
+public:
+    virtual ~Clock() = default;
+
+    /// Nanoseconds on a monotonic timeline. The epoch is arbitrary (only
+    /// differences and ordering matter), but values must never decrease.
+    virtual std::uint64_t now_ns() const = 0;
+};
+
+/// Production clock backed by std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+public:
+    std::uint64_t now_ns() const override;
+};
+
+/// Shared process-wide SteadyClock instance (no allocation, safe to take at
+/// any time, including during static initialisation).
+const Clock& steady_clock_instance();
+
+/// Deterministic manual clock for tests and byte-stable serving modes.
+/// Every now_ns() call returns the current reading and then advances the
+/// clock by `auto_step_ns` - so a sequence of timed operations yields a
+/// fixed, call-count-derived series of latencies regardless of the real
+/// machine. auto_step_ns == 0 gives a frozen clock advanced only by
+/// advance()/set().
+class FakeClock final : public Clock {
+public:
+    explicit FakeClock(std::uint64_t start_ns = 0,
+                       std::uint64_t auto_step_ns = 0)
+        : now_ns_(start_ns), auto_step_ns_(auto_step_ns) {}
+
+    std::uint64_t now_ns() const override {
+        return now_ns_.fetch_add(auto_step_ns_, std::memory_order_relaxed);
+    }
+
+    /// Moves the clock forward by `delta_ns`.
+    void advance(std::uint64_t delta_ns) {
+        now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+    }
+
+    /// Jumps the clock to an absolute reading. Callers are responsible for
+    /// monotonicity (jumping backwards would violate the Clock contract).
+    void set(std::uint64_t now_ns) {
+        now_ns_.store(now_ns, std::memory_order_relaxed);
+    }
+
+private:
+    mutable std::atomic<std::uint64_t> now_ns_;
+    std::uint64_t auto_step_ns_;
+};
+
+}  // namespace extradeep::obs

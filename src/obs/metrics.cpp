@@ -1,0 +1,292 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace extradeep::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(double value) {
+    // First bucket whose upper edge admits the value; everything above the
+    // last finite edge lands in the +Inf bucket (index bounds_.size()).
+    const std::size_t index = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    buckets_[index].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+    std::vector<std::uint64_t> out(buckets_.size());
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+double Histogram::quantile(double q) const {
+    const std::uint64_t total = count();
+    if (total == 0) {
+        return 0.0;
+    }
+    const double rank_exact = q * static_cast<double>(total);
+    std::uint64_t rank = static_cast<std::uint64_t>(rank_exact);
+    if (static_cast<double>(rank) < rank_exact) {
+        ++rank;  // ceil
+    }
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i].load(std::memory_order_relaxed);
+        if (cumulative >= rank) {
+            return i < bounds_.size()
+                       ? bounds_[i]
+                       : (bounds_.empty() ? 0.0 : bounds_.back());
+        }
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+    if (name.empty()) {
+        return false;
+    }
+    const auto head = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    if (!head(name[0])) {
+        return false;
+    }
+    return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+        return head(c) || (c >= '0' && c <= '9');
+    });
+}
+
+const char* kind_name(int kind) {
+    switch (kind) {
+        case 0: return "counter";
+        case 1: return "gauge";
+        default: return "histogram";
+    }
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& label_key,
+    const std::string& label_value, Kind kind,
+    const std::vector<double>* bounds) {
+    if (!valid_metric_name(name)) {
+        throw InvalidArgumentError("metrics: invalid metric name '" + name +
+                                   "'");
+    }
+    if (label_key.empty() != label_value.empty()) {
+        throw InvalidArgumentError(
+            "metrics: label key and value must be given together for '" +
+            name + "'");
+    }
+    if (!label_key.empty() && !valid_metric_name(label_key)) {
+        throw InvalidArgumentError("metrics: invalid label name '" +
+                                   label_key + "'");
+    }
+    if (bounds != nullptr) {
+        if (bounds->empty()) {
+            throw InvalidArgumentError(
+                "metrics: histogram '" + name + "' needs at least one bucket");
+        }
+        for (std::size_t i = 0; i < bounds->size(); ++i) {
+            if (!std::isfinite((*bounds)[i]) ||
+                (i > 0 && (*bounds)[i] <= (*bounds)[i - 1])) {
+                throw InvalidArgumentError(
+                    "metrics: histogram '" + name +
+                    "' bucket bounds must be finite and strictly increasing");
+            }
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& entry : entries_) {
+        if (entry->name != name) {
+            continue;
+        }
+        if (entry->kind != kind) {
+            throw InvalidArgumentError(
+                std::string("metrics: '") + name + "' is a " +
+                kind_name(static_cast<int>(entry->kind)) +
+                ", requested as " + kind_name(static_cast<int>(kind)));
+        }
+        if (entry->label_key == label_key &&
+            entry->label_value == label_value) {
+            if (bounds != nullptr && entry->histogram->bounds() != *bounds) {
+                throw InvalidArgumentError(
+                    "metrics: histogram '" + name +
+                    "' re-registered with different bucket bounds");
+            }
+            return *entry;
+        }
+        if (kind == Kind::Histogram && bounds != nullptr &&
+            entry->histogram->bounds() != *bounds) {
+            throw InvalidArgumentError(
+                "metrics: histogram family '" + name +
+                "' must share bucket bounds across labels");
+        }
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->label_key = label_key;
+    entry->label_value = label_value;
+    entry->kind = kind;
+    switch (kind) {
+        case Kind::Counter:
+            entry->counter = std::make_unique<Counter>();
+            break;
+        case Kind::Gauge:
+            entry->gauge = std::make_unique<Gauge>();
+            break;
+        case Kind::Histogram:
+            entry->histogram = std::make_unique<Histogram>(*bounds);
+            break;
+    }
+    entries_.push_back(std::move(entry));
+    return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& label_key,
+                                  const std::string& label_value) {
+    return *find_or_create(name, label_key, label_value, Kind::Counter,
+                           nullptr)
+                .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& label_key,
+                              const std::string& label_value) {
+    return *find_or_create(name, label_key, label_value, Kind::Gauge, nullptr)
+                .gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& label_key,
+                                      const std::string& label_value) {
+    return *find_or_create(name, label_key, label_value, Kind::Histogram,
+                           &bounds)
+                .histogram;
+}
+
+namespace {
+
+std::string sample_name(const std::string& name, const std::string& suffix,
+                        const std::string& label_key,
+                        const std::string& label_value,
+                        const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+    std::string out = name + suffix;
+    if (label_key.empty() && extra_key.empty()) {
+        return out;
+    }
+    out += '{';
+    bool first = true;
+    if (!label_key.empty()) {
+        out += label_key + "=\"" + label_value + "\"";
+        first = false;
+    }
+    if (!extra_key.empty()) {
+        if (!first) {
+            out += ',';
+        }
+        out += extra_key + "=\"" + extra_value + "\"";
+    }
+    out += '}';
+    return out;
+}
+
+/// Bucket-edge rendering for `le` labels: integral edges in plain fixed
+/// notation (le="10", not le="1e+01" - the Prometheus convention), anything
+/// else via the round-tripping shortest form.
+std::string format_edge(double edge) {
+    if (edge == std::floor(edge) && std::abs(edge) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", edge);
+        return buf;
+    }
+    return fmt::shortest(edge);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::exposition() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    std::vector<std::string> families_seen;
+    for (const auto& entry : entries_) {
+        if (std::find(families_seen.begin(), families_seen.end(),
+                      entry->name) == families_seen.end()) {
+            families_seen.push_back(entry->name);
+            out += "# TYPE " + entry->name + ' ' +
+                   kind_name(static_cast<int>(entry->kind)) + '\n';
+        }
+        switch (entry->kind) {
+            case Kind::Counter:
+                out += sample_name(entry->name, "", entry->label_key,
+                                   entry->label_value) +
+                       ' ' + std::to_string(entry->counter->value()) + '\n';
+                break;
+            case Kind::Gauge:
+                out += sample_name(entry->name, "", entry->label_key,
+                                   entry->label_value) +
+                       ' ' + fmt::shortest(entry->gauge->value()) + '\n';
+                break;
+            case Kind::Histogram: {
+                const Histogram& h = *entry->histogram;
+                const std::vector<std::uint64_t> counts = h.bucket_counts();
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < counts.size(); ++i) {
+                    cumulative += counts[i];
+                    const std::string le =
+                        i < h.bounds().size() ? format_edge(h.bounds()[i])
+                                              : std::string("+Inf");
+                    out += sample_name(entry->name, "_bucket",
+                                       entry->label_key, entry->label_value,
+                                       "le", le) +
+                           ' ' + std::to_string(cumulative) + '\n';
+                }
+                out += sample_name(entry->name, "_sum", entry->label_key,
+                                   entry->label_value) +
+                       ' ' + fmt::shortest(h.sum()) + '\n';
+                out += sample_name(entry->name, "_count", entry->label_key,
+                                   entry->label_value) +
+                       ' ' + std::to_string(h.count()) + '\n';
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double> MetricsRegistry::default_latency_buckets_us() {
+    std::vector<double> bounds;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+        bounds.push_back(decade);
+        bounds.push_back(2.0 * decade);
+        bounds.push_back(5.0 * decade);
+    }
+    bounds.push_back(1e7);
+    return bounds;
+}
+
+MetricsRegistry& global_metrics() {
+    static MetricsRegistry registry;
+    return registry;
+}
+
+}  // namespace extradeep::obs

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace extradeep::obs {
+
+/// Metrics registry (ISSUE 5): named counters, gauges and fixed-bucket
+/// latency histograms with Prometheus-style text exposition. Zero
+/// dependencies; instruments are created once (registry lookup under a
+/// mutex) and then updated lock-free via atomics, so hot paths hold a
+/// reference and pay one atomic RMW per update.
+///
+/// Instruments may carry one optional label pair (e.g. kind="predict").
+/// Instruments sharing a name form a family: one # HELP/# TYPE line,
+/// several samples. Families must be type-consistent; histograms of one
+/// family must share bucket bounds.
+
+/// Monotonically increasing integer counter.
+class Counter {
+public:
+    void increment(std::uint64_t n = 1) {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating point gauge.
+class Gauge {
+public:
+    void set(double value) { value_.store(value, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket bounds are upper edges (Prometheus `le`);
+/// an implicit +Inf bucket catches the overflow. observe() is lock-free.
+class Histogram {
+public:
+    /// `bounds` must be strictly increasing and finite (validated by the
+    /// registry at creation).
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+
+    std::uint64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    const std::vector<double>& bounds() const { return bounds_; }
+
+    /// Per-bucket (non-cumulative) counts; the last entry is the +Inf
+    /// bucket, so the vector has bounds().size() + 1 entries.
+    std::vector<std::uint64_t> bucket_counts() const;
+
+    /// Histogram-estimated quantile (0 < q <= 1): the upper edge of the
+    /// first bucket whose cumulative count reaches ceil(q * count). For the
+    /// +Inf bucket the largest finite edge is returned (a conservative
+    /// lower bound). Returns 0 for an empty histogram. Deterministic - used
+    /// by the serve `stats` p50/p95 fields.
+    double quantile(double q) const;
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds + Inf
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Find-or-create. `name` must match [a-zA-Z_][a-zA-Z0-9_]*; the
+    /// optional label is rendered as name{key="value"} in the exposition.
+    /// Throws InvalidArgumentError on invalid names, on type conflicts
+    /// within a family, and (histograms) on bucket-bound mismatches.
+    Counter& counter(const std::string& name, const std::string& label_key = "",
+                     const std::string& label_value = "");
+    Gauge& gauge(const std::string& name, const std::string& label_key = "",
+                 const std::string& label_value = "");
+    Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                         const std::string& label_key = "",
+                         const std::string& label_value = "");
+
+    /// Prometheus text exposition, families in registration order. Numbers
+    /// use fmt::shortest so the output round-trips and is byte-stable for
+    /// identical update sequences.
+    std::string exposition() const;
+
+    /// Default latency bucket edges in microseconds: 1, 2, 5 decades from
+    /// 1 us to 1e7 us (10 s), 22 finite buckets.
+    static std::vector<double> default_latency_buckets_us();
+
+private:
+    enum class Kind { Counter, Gauge, Histogram };
+    struct Entry {
+        std::string name;
+        std::string label_key;
+        std::string label_value;
+        Kind kind = Kind::Counter;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry& find_or_create(const std::string& name,
+                          const std::string& label_key,
+                          const std::string& label_value, Kind kind,
+                          const std::vector<double>* bounds);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// The process-wide registry used by pipeline instrumentation and the
+/// EXTRADEEP_TRACE metrics sink.
+MetricsRegistry& global_metrics();
+
+}  // namespace extradeep::obs

@@ -1,0 +1,162 @@
+#include "obs/session.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "obs/metrics.hpp"
+#include "obs/selfprofile.hpp"
+
+namespace extradeep::obs {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t end = text.find(sep, begin);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(begin));
+            break;
+        }
+        out.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return out;
+}
+
+void write_sink(const std::string& path, const std::string& content,
+                const char* what) {
+    if (path == "-") {
+        std::cerr << content;
+        return;
+    }
+    std::ofstream os(path, std::ios::binary);
+    os << content;
+    if (!os) {
+        std::cerr << "extradeep-obs: failed to write " << what << " to '"
+                  << path << "'\n";
+    }
+}
+
+}  // namespace
+
+ObsConfig parse_obs_config(const std::string& spec) {
+    ObsConfig config;
+    if (spec.empty() || spec == "0" || spec == "off") {
+        return config;
+    }
+    config.enabled = true;
+    if (spec == "1" || spec == "on") {
+        // std::string(...) sidesteps a GCC 12 -Wrestrict false positive on
+        // literal assignment into a just-default-constructed string.
+        config.summary_path = std::string("-");  // bare enable: stderr summary
+        return config;
+    }
+    for (const std::string& part : split(spec, ',')) {
+        if (part.empty()) {
+            continue;
+        }
+        const std::size_t colon = part.find(':');
+        if (colon == std::string::npos) {
+            throw InvalidArgumentError(
+                "EXTRADEEP_TRACE: sink '" + part +
+                "' has no ':' (expected kind:target)");
+        }
+        const std::string kind = part.substr(0, colon);
+        const std::string target = part.substr(colon + 1);
+        if (target.empty()) {
+            throw InvalidArgumentError("EXTRADEEP_TRACE: sink '" + part +
+                                       "' has an empty target");
+        }
+        if (kind == "chrome") {
+            config.chrome_path = target;
+        } else if (kind == "text") {
+            config.summary_path = target;
+        } else if (kind == "metrics") {
+            config.metrics_path = target;
+        } else if (kind == "edp") {
+            config.edp_path = target;
+        } else if (kind == "param") {
+            const std::size_t eq = target.find('=');
+            double value = 0.0;
+            if (eq == std::string::npos || eq == 0 ||
+                !fmt::parse_double(target.substr(eq + 1), value)) {
+                throw InvalidArgumentError(
+                    "EXTRADEEP_TRACE: param '" + target +
+                    "' must be NAME=NUMBER");
+            }
+            config.params[target.substr(0, eq)] = value;
+        } else {
+            throw InvalidArgumentError("EXTRADEEP_TRACE: unknown sink kind '" +
+                                       kind + "'");
+        }
+    }
+    return config;
+}
+
+ObsConfig obs_config_from_env() {
+    const char* spec = std::getenv("EXTRADEEP_TRACE");
+    return parse_obs_config(spec != nullptr ? std::string(spec)
+                                            : std::string());
+}
+
+ObsSession::ObsSession(ObsConfig config) : config_(std::move(config)) {
+    if (!config_.enabled) {
+        flushed_ = true;  // nothing to do, ever
+        return;
+    }
+    if (config_.params.empty()) {
+        config_.params["x1"] = 1.0;
+    }
+    global_tracer().clear();
+    set_trace_enabled(true);
+}
+
+ObsSession::~ObsSession() { flush(); }
+
+void ObsSession::set_param(const std::string& name, double value) {
+    config_.params[name] = value;
+}
+
+void ObsSession::flush() {
+    if (flushed_) {
+        return;
+    }
+    flushed_ = true;
+    set_trace_enabled(false);
+    const std::vector<SpanRecord> spans = global_tracer().snapshot();
+    if (!config_.chrome_path.empty()) {
+        write_sink(config_.chrome_path, chrome_trace_json(spans),
+                   "chrome trace");
+    }
+    if (!config_.summary_path.empty()) {
+        write_sink(config_.summary_path, text_summary(spans) + "\n",
+                   "trace summary");
+    }
+    if (!config_.metrics_path.empty()) {
+        write_sink(config_.metrics_path, global_metrics().exposition(),
+                   "metrics exposition");
+    }
+    if (!config_.edp_path.empty()) {
+        if (spans.empty()) {
+            std::cerr << "extradeep-obs: no spans recorded, skipping "
+                         "self-profile .edp '"
+                      << config_.edp_path << "'\n";
+        } else {
+            try {
+                SelfProfileOptions options;
+                options.params = config_.params;
+                write_selfprofile_edp(config_.edp_path, spans, options);
+            } catch (const Error& e) {
+                std::cerr << "extradeep-obs: self-profile export failed: "
+                          << e.what() << '\n';
+            }
+        }
+    }
+}
+
+}  // namespace extradeep::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace extradeep::obs {
+
+/// Observability session wiring for the CLIs (ISSUE 5): one switch -
+/// the EXTRADEEP_TRACE environment variable or a --trace flag - enables
+/// span tracing and selects output sinks. The spec is a comma-separated
+/// sink list:
+///
+///   EXTRADEEP_TRACE="chrome:trace.json,text:-,metrics:metrics.prom,
+///                    edp:self.edp,param:x1=8"
+///
+///   chrome:PATH   Chrome trace-event JSON (Perfetto-loadable)
+///   text:PATH     human per-span summary table ("-" = stderr)
+///   metrics:PATH  Prometheus exposition of global_metrics() ("-" = stderr)
+///   edp:PATH      self-profiling synthetic .edp run (see selfprofile.hpp)
+///   param:K=V     execution parameter of the self-profile point (numeric);
+///                 may repeat. Defaults to {"x1": 1} if none given.
+///
+/// "", "0" and "off" mean disabled; unknown sinks raise
+/// InvalidArgumentError (a typo silently disabling tracing would be worse).
+
+struct ObsConfig {
+    bool enabled = false;
+    std::string chrome_path;
+    std::string summary_path;
+    std::string metrics_path;
+    std::string edp_path;
+    std::map<std::string, double> params;
+};
+
+/// Parses a sink spec (the EXTRADEEP_TRACE grammar above).
+ObsConfig parse_obs_config(const std::string& spec);
+
+/// Reads EXTRADEEP_TRACE; absent means disabled.
+ObsConfig obs_config_from_env();
+
+/// RAII session: construction enables tracing (when the config says so) and
+/// clears the global tracer; destruction (or an explicit flush()) writes
+/// every configured sink and disables tracing. Construct one at the top of
+/// main(); a disabled config makes every operation a no-op.
+class ObsSession {
+public:
+    explicit ObsSession(ObsConfig config);
+    ~ObsSession();
+
+    ObsSession(const ObsSession&) = delete;
+    ObsSession& operator=(const ObsSession&) = delete;
+
+    /// Overrides/sets one self-profile execution parameter (e.g. the
+    /// resolved --threads value, so the fitted models have a real x axis).
+    void set_param(const std::string& name, double value);
+
+    /// Writes all configured sinks and disables tracing. Idempotent;
+    /// called by the destructor. Sink I/O failures are reported to stderr
+    /// rather than thrown (observability must not take down the pipeline).
+    void flush();
+
+    const ObsConfig& config() const { return config_; }
+
+private:
+    ObsConfig config_;
+    bool flushed_ = false;
+};
+
+}  // namespace extradeep::obs

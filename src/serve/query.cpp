@@ -1,7 +1,6 @@
 #include "serve/query.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -11,6 +10,7 @@
 #include "analysis/speedup.hpp"
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "obs/trace.hpp"
 
 namespace extradeep::serve {
 
@@ -227,6 +227,7 @@ std::string_view query_kind_name(QueryKind kind) {
         case QueryKind::Search: return "search";
         case QueryKind::List: return "list";
         case QueryKind::Stats: return "stats";
+        case QueryKind::Metrics: return "metrics";
         case QueryKind::Ping: return "ping";
         case QueryKind::Reload: return "reload";
         case QueryKind::Other: return "other";
@@ -234,10 +235,54 @@ std::string_view query_kind_name(QueryKind kind) {
     throw InvalidArgumentError("query_kind_name: unknown kind");
 }
 
-QueryEngine::QueryEngine(std::shared_ptr<ModelRegistry> registry)
-    : registry_(std::move(registry)) {
+std::string escape_lines(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string unescape_lines(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+            const char next = text[++i];
+            out += next == 'n' ? '\n' : next;
+        } else {
+            out += text[i];
+        }
+    }
+    return out;
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<ModelRegistry> registry,
+                         const obs::Clock* clock)
+    : registry_(std::move(registry)),
+      clock_(clock != nullptr ? clock : &obs::steady_clock_instance()) {
     if (!registry_) {
         throw InvalidArgumentError("QueryEngine: null registry");
+    }
+    // Register all instruments up front, in enum order, so the exposition
+    // layout is fixed and identical across engines.
+    for (int k = 0; k < kQueryKindCount; ++k) {
+        const std::string kind(query_kind_name(static_cast<QueryKind>(k)));
+        const auto i = static_cast<std::size_t>(k);
+        request_counters_[i] = &metrics_.counter(
+            "extradeep_serve_requests_total", "kind", kind);
+        error_counters_[i] =
+            &metrics_.counter("extradeep_serve_errors_total", "kind", kind);
+        latency_histograms_[i] = &metrics_.histogram(
+            "extradeep_serve_query_latency_us",
+            obs::MetricsRegistry::default_latency_buckets_us(), "kind", kind);
     }
 }
 
@@ -280,12 +325,24 @@ std::string QueryEngine::dispatch(const std::string& request,
         std::ostringstream os;
         os << "ok";
         for (int k = 0; k < kQueryKindCount; ++k) {
-            const QueryCounters& c = snapshot[static_cast<std::size_t>(k)];
+            const auto i = static_cast<std::size_t>(k);
+            const QueryCounters& c = snapshot[i];
+            // p50/p95 are histogram-estimated (bucket upper edges, in us);
+            // the four leading fields keep their pre-observability layout.
             os << ' ' << query_kind_name(static_cast<QueryKind>(k)) << '='
                << c.requests << ':' << c.errors << ':' << c.total_latency_us
-               << ':' << c.max_latency_us;
+               << ':' << c.max_latency_us << ':'
+               << fmt::shortest(latency_histograms_[i]->quantile(0.50)) << ':'
+               << fmt::shortest(latency_histograms_[i]->quantile(0.95));
         }
         return os.str();
+    }
+    if (cmd == "metrics") {
+        kind = QueryKind::Metrics;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: metrics");
+        }
+        return "ok " + escape_lines(metrics_.exposition());
     }
     if (cmd == "reload") {
         kind = QueryKind::Reload;
@@ -332,7 +389,8 @@ std::string QueryEngine::dispatch(const std::string& request,
 }
 
 std::string QueryEngine::execute(const std::string& request) {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::Span span{"serve.execute"};
+    const std::uint64_t start_ns = clock_->now_ns();
     QueryKind kind = QueryKind::Other;
     std::string response;
     bool failed = false;
@@ -345,13 +403,13 @@ std::string QueryEngine::execute(const std::string& request) {
         response = std::string("err internal: ") + e.what();
         failed = true;
     }
-    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-    const auto us = static_cast<std::uint64_t>(elapsed < 0 ? 0 : elapsed);
+    const std::uint64_t end_ns = clock_->now_ns();
+    const std::uint64_t us =
+        end_ns >= start_ns ? (end_ns - start_ns) / 1000 : 0;
+    const auto i = static_cast<std::size_t>(kind);
     {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        QueryCounters& c = counters_[static_cast<std::size_t>(kind)];
+        QueryCounters& c = counters_[i];
         ++c.requests;
         if (failed) {
             ++c.errors;
@@ -359,6 +417,11 @@ std::string QueryEngine::execute(const std::string& request) {
         c.total_latency_us += us;
         c.max_latency_us = std::max(c.max_latency_us, us);
     }
+    request_counters_[i]->increment();
+    if (failed) {
+        error_counters_[i]->increment();
+    }
+    latency_histograms_[i]->observe(static_cast<double>(us));
     return response;
 }
 

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "serve/registry.hpp"
 
 namespace extradeep::serve {
@@ -20,12 +22,13 @@ enum class QueryKind {
     Search,
     List,
     Stats,
+    Metrics,
     Ping,
     Reload,
     Other,
 };
 
-inline constexpr int kQueryKindCount = 10;
+inline constexpr int kQueryKindCount = 11;
 
 std::string_view query_kind_name(QueryKind kind);
 
@@ -37,6 +40,13 @@ struct QueryCounters {
     std::uint64_t max_latency_us = 0;
 };
 
+/// Escapes a multi-line payload into the single-line response protocol
+/// ('\\' -> "\\\\", '\n' -> "\\n") and back. The `metrics` verb uses this:
+/// its Prometheus exposition is inherently multi-line while the protocol is
+/// one response line per request.
+std::string escape_lines(const std::string& text);
+std::string unescape_lines(const std::string& text);
+
 /// Answers line-protocol queries against a model registry. This is the
 /// library API of the serving subsystem; the TCP daemon is a thin transport
 /// over execute(), so daemon answers are byte-identical to library answers
@@ -46,6 +56,7 @@ struct QueryCounters {
 ///   ping
 ///   list
 ///   stats
+///   metrics
 ///   reload
 ///   predict    <model> <x> [epoch|computation|communication|memory] [conf]
 ///   speedup    <model> <x1> <x2> [<x> ...]          (Eq. 11, vs first x)
@@ -59,7 +70,12 @@ struct QueryCounters {
 /// `err` response and counted.
 class QueryEngine {
 public:
-    explicit QueryEngine(std::shared_ptr<ModelRegistry> registry);
+    /// `clock` times per-request latencies (nullptr means the shared steady
+    /// clock). Injecting an obs::FakeClock with a fixed auto-step makes the
+    /// `stats` and `metrics` responses byte-stable across identical request
+    /// sequences - daemon and library mode included.
+    explicit QueryEngine(std::shared_ptr<ModelRegistry> registry,
+                         const obs::Clock* clock = nullptr);
 
     /// Executes one request line and returns the response line (without a
     /// trailing newline). Thread-safe.
@@ -67,6 +83,12 @@ public:
 
     /// Snapshot of the per-kind counters.
     std::array<QueryCounters, kQueryKindCount> counters() const;
+
+    /// The engine-local metrics registry behind the `metrics` verb:
+    /// per-kind request/error counters and latency histograms. Engine-local
+    /// (not global_metrics()) so identical engines produce identical
+    /// expositions regardless of what else ran in the process.
+    const obs::MetricsRegistry& metrics() const { return metrics_; }
 
     const std::shared_ptr<ModelRegistry>& registry() const {
         return registry_;
@@ -76,6 +98,11 @@ private:
     std::string dispatch(const std::string& request, QueryKind& kind);
 
     std::shared_ptr<ModelRegistry> registry_;
+    const obs::Clock* clock_;
+    obs::MetricsRegistry metrics_;
+    std::array<obs::Counter*, kQueryKindCount> request_counters_{};
+    std::array<obs::Counter*, kQueryKindCount> error_counters_{};
+    std::array<obs::Histogram*, kQueryKindCount> latency_histograms_{};
     mutable std::mutex stats_mutex_;
     std::array<QueryCounters, kQueryKindCount> counters_{};
 };

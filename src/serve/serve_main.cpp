@@ -20,10 +20,12 @@
 
 #include <csignal>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/session.hpp"
 #include "serve/query.hpp"
 #include "serve/registry.hpp"
 #include "serve/serialize.hpp"
@@ -35,10 +37,13 @@ namespace {
 
 void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s fit --out FILE [--name NAME] [fit options]\n"
+                 "usage: %s fit --out FILE [--name NAME] [--trace SPEC] "
+                 "[fit options]\n"
                  "       %s serve --models DIR [--port N] [--threads N]\n"
+                 "                [--trace SPEC] [--fake-clock STEP_US]\n"
                  "       %s query --port N [--host H] REQUEST...\n"
-                 "       %s ask --models DIR REQUEST...\n",
+                 "       %s ask --models DIR [--trace SPEC] "
+                 "[--fake-clock STEP_US] REQUEST...\n",
                  argv0, argv0, argv0, argv0);
 }
 
@@ -101,14 +106,35 @@ private:
     int i_;
 };
 
+/// Observability session for one CLI mode: --trace SPEC wins over the
+/// EXTRADEEP_TRACE environment; `threads` becomes the self-profile x1
+/// parameter unless the spec named one explicitly.
+std::unique_ptr<obs::ObsSession> make_obs_session(const std::string& spec,
+                                                  bool spec_given,
+                                                  int threads) {
+    obs::ObsConfig config =
+        spec_given ? obs::parse_obs_config(spec) : obs::obs_config_from_env();
+    const bool default_x1 = config.params.find("x1") == config.params.end();
+    auto session = std::make_unique<obs::ObsSession>(std::move(config));
+    if (session->config().enabled && default_x1) {
+        session->set_param("x1", static_cast<double>(threads));
+    }
+    return session;
+}
+
 int run_fit(Args args) {
     ExperimentSpec spec;
     std::string out_path;
     std::string name = "model";
+    std::string trace_spec;
+    bool trace_given = false;
     std::string arg;
     while (args.next(arg)) {
         if (arg == "--out") {
             out_path = args.value(arg);
+        } else if (arg == "--trace") {
+            trace_spec = args.value(arg);
+            trace_given = true;
         } else if (arg == "--name") {
             name = args.value(arg);
         } else if (arg == "--dataset") {
@@ -138,6 +164,8 @@ int run_fit(Args args) {
     if (out_path.empty()) {
         throw InvalidArgumentError("fit: --out FILE is required");
     }
+    const auto session =
+        make_obs_session(trace_spec, trace_given, spec.fit_threads);
     const ExperimentRunner runner(spec);
     const ExperimentResult result = runner.run();
     const serve::ServableModel model =
@@ -168,6 +196,9 @@ void handle_signal(int) {
 int run_serve(Args args) {
     std::string models_dir;
     serve::ServerOptions options;
+    std::string trace_spec;
+    bool trace_given = false;
+    std::int64_t fake_clock_step_us = -1;
     std::string arg;
     while (args.next(arg)) {
         if (arg == "--models") {
@@ -178,6 +209,15 @@ int run_serve(Args args) {
             options.threads = std::stoi(args.value(arg));
         } else if (arg == "--host") {
             options.host = args.value(arg);
+        } else if (arg == "--trace") {
+            trace_spec = args.value(arg);
+            trace_given = true;
+        } else if (arg == "--fake-clock") {
+            fake_clock_step_us = std::stoll(args.value(arg));
+            if (fake_clock_step_us < 0) {
+                throw InvalidArgumentError(
+                    "serve: --fake-clock STEP_US must be >= 0");
+            }
         } else {
             throw InvalidArgumentError("serve: unknown option '" + arg + "'");
         }
@@ -185,9 +225,20 @@ int run_serve(Args args) {
     if (models_dir.empty()) {
         throw InvalidArgumentError("serve: --models DIR is required");
     }
+    const auto session =
+        make_obs_session(trace_spec, trace_given, options.threads);
+    // --fake-clock STEP_US swaps the latency clock for a deterministic one
+    // advancing STEP_US microseconds per reading, so `stats`/`metrics`
+    // responses are byte-stable across runs and across daemon/ask modes.
+    std::unique_ptr<obs::FakeClock> fake_clock;
+    if (fake_clock_step_us >= 0) {
+        fake_clock = std::make_unique<obs::FakeClock>(
+            0, static_cast<std::uint64_t>(fake_clock_step_us) * 1000);
+    }
     auto registry = std::make_shared<serve::ModelRegistry>();
     print_load_report(registry->load_directory(models_dir));
-    auto engine = std::make_shared<serve::QueryEngine>(std::move(registry));
+    auto engine = std::make_shared<serve::QueryEngine>(std::move(registry),
+                                                       fake_clock.get());
     serve::ServeDaemon daemon(std::move(engine), options);
     daemon.start();
     g_daemon = &daemon;
@@ -232,10 +283,22 @@ int run_query(Args args) {
 int run_ask(Args args) {
     std::string models_dir;
     std::vector<std::string> requests;
+    std::string trace_spec;
+    bool trace_given = false;
+    std::int64_t fake_clock_step_us = -1;
     std::string arg;
     while (args.next(arg)) {
         if (arg == "--models") {
             models_dir = args.value(arg);
+        } else if (arg == "--trace") {
+            trace_spec = args.value(arg);
+            trace_given = true;
+        } else if (arg == "--fake-clock") {
+            fake_clock_step_us = std::stoll(args.value(arg));
+            if (fake_clock_step_us < 0) {
+                throw InvalidArgumentError(
+                    "ask: --fake-clock STEP_US must be >= 0");
+            }
         } else {
             requests.push_back(arg);
         }
@@ -246,13 +309,19 @@ int run_ask(Args args) {
     if (requests.empty()) {
         throw InvalidArgumentError("ask: no requests given");
     }
+    const auto session = make_obs_session(trace_spec, trace_given, 1);
+    std::unique_ptr<obs::FakeClock> fake_clock;
+    if (fake_clock_step_us >= 0) {
+        fake_clock = std::make_unique<obs::FakeClock>(
+            0, static_cast<std::uint64_t>(fake_clock_step_us) * 1000);
+    }
     auto registry = std::make_shared<serve::ModelRegistry>();
     const auto report = registry->load_directory(models_dir);
     for (const auto& d : report.diagnostics.entries()) {
         std::fprintf(stderr, "%s: %s\n", severity_name(d.severity).data(),
                      d.reason.c_str());
     }
-    serve::QueryEngine engine(std::move(registry));
+    serve::QueryEngine engine(std::move(registry), fake_clock.get());
     for (const auto& r : requests) {
         std::printf("%s\n", engine.execute(r).c_str());
     }
