@@ -13,33 +13,38 @@ cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/6] Release build + full test suite =="
+echo "== [1/7] Release build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default -j "${jobs}"
 
-echo "== [2/6] Accuracy harness (quick suite + calibrated thresholds) =="
+echo "== [2/7] Accuracy harness (quick suite + calibrated thresholds) =="
 ./build/src/eval/extradeep-eval --quick \
     --thresholds "${repo_root}/eval_thresholds.json"
 
-echo "== [3/6] Serving smoke: fit -> .edpm -> daemon -> client =="
+echo "== [3/7] Serving smoke: fit -> .edpm -> daemon -> client =="
 scripts/serve_smoke.sh ./build/src/serve/extradeep-serve
 
-echo "== [4/6] Observability smoke: traced fit, validated artifacts =="
+echo "== [4/7] Serve-plane load gate: loadgen vs serve_thresholds.json =="
+./build/src/serve/extradeep-serve loadgen --self --connections 8 \
+    --requests 200 --pipeline 8 --mode both \
+    --thresholds "${repo_root}/serve_thresholds.json"
+
+echo "== [5/7] Observability smoke: traced fit, validated artifacts =="
 scripts/obs_smoke.sh ./build/src/serve/extradeep-serve \
     ./build/src/eval/extradeep-eval
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-    echo "== [5/6] ASan+UBSan build + sanitize_smoke suite =="
+    echo "== [6/7] ASan+UBSan build + sanitize_smoke suite =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${jobs}"
     ctest --preset sanitize-smoke -j "${jobs}"
 
-    echo "== [6/6] Accuracy harness under sanitizers =="
+    echo "== [7/7] Accuracy harness under sanitizers =="
     ./build-sanitize/src/eval/extradeep-eval --quick \
         --thresholds "${repo_root}/eval_thresholds.json"
 else
-    echo "== [5-6/6] skipped (SKIP_SANITIZE=1) =="
+    echo "== [6-7/7] skipped (SKIP_SANITIZE=1) =="
 fi
 
 echo "ci_check: all green"

@@ -108,6 +108,17 @@ grep -q 'extradeep_serve_query_latency_us_bucket' "${workdir}/daemon_det.out" ||
     exit 1
 }
 
+echo "== loadgen against the running daemon =="
+# Pipelined concurrent load through the event loop; any lost, reordered, or
+# error response fails the run (loadgen exits non-zero on a short stream).
+"${serve_bin}" loadgen --port "${port}" --connections 4 --requests 50 \
+    --pipeline 4 --mode both --out "${workdir}/bench_serve.json" \
+    "predict smoke 16" "speedup smoke 2 4 8 16" "cost smoke 16"
+grep -q '"schema": "extradeep-serve-bench/1"' "${workdir}/bench_serve.json" || {
+    echo "FAIL: loadgen report missing schema marker"
+    exit 1
+}
+
 echo "== protocol shutdown =="
 "${serve_bin}" query --port "${port}" shutdown | grep -qx "ok bye"
 for _ in $(seq 1 100); do

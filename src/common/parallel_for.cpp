@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 namespace extradeep {
 
@@ -80,18 +81,47 @@ void ThreadPool::run_chunk(int chunk_index) {
     }
 }
 
+void ThreadPool::run_task(Task task) {
+    const TaskContextHook* hook = task_context_hook();
+    std::uint64_t previous = 0;
+    if (hook != nullptr) {
+        previous = hook->install(task.context);
+    }
+    // Deliberately no try/catch: detached tasks have no join point to
+    // rethrow at, so an escaping exception terminates (documented contract).
+    task.body();
+    if (hook != nullptr) {
+        hook->restore(previous);
+    }
+}
+
 void ThreadPool::worker_loop(int chunk_index) {
     std::uint64_t seen_generation = 0;
     while (true) {
+        Task task;
+        bool have_task = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             start_cv_.wait(lock, [&] {
-                return stop_ || generation_ != seen_generation;
+                return stop_ || generation_ != seen_generation ||
+                       !tasks_.empty();
             });
             if (stop_) {
                 return;
             }
-            seen_generation = generation_;
+            if (generation_ != seen_generation) {
+                // A fork-join job takes priority: the caller is blocked on
+                // its barrier, queued tasks are not blocked on anything.
+                seen_generation = generation_;
+            } else {
+                task = std::move(tasks_.front());
+                tasks_.pop_front();
+                have_task = true;
+            }
+        }
+        if (have_task) {
+            run_task(std::move(task));
+            continue;
         }
         run_chunk(chunk_index);
         bool last = false;
@@ -103,6 +133,28 @@ void ThreadPool::worker_loop(int chunk_index) {
             done_cv_.notify_all();
         }
     }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    if (workers_.empty()) {
+        throw std::logic_error(
+            "ThreadPool::submit: pool has no background workers "
+            "(thread_count() must be >= 2)");
+    }
+    const TaskContextHook* hook = task_context_hook();
+    Task t;
+    t.body = std::move(task);
+    t.context = hook != nullptr ? hook->capture() : 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(t));
+    }
+    start_cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued_tasks() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
 }
 
 void ThreadPool::parallel_for(

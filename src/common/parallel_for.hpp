@@ -3,6 +3,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -70,19 +71,47 @@ public:
                       const std::function<void(int chunk, std::size_t begin,
                                                std::size_t end)>& body);
 
+    /// Request-level dispatch: enqueues one independent task that an idle
+    /// background worker picks up FIFO and runs to completion, without any
+    /// barrier — tasks never wait on each other, which is what the serve
+    /// plane needs so one slow request cannot stall another (no fork-join
+    /// head-of-line blocking). The TaskContextHook token is captured at
+    /// submit time and installed around the task, exactly as parallel_for
+    /// does for chunks. Tasks must not throw (an escaped exception
+    /// terminates the process — there is no join point to rethrow at).
+    ///
+    /// Only background workers run tasks (the calling thread never does), so
+    /// the pool must have thread_count() >= 2; submit on a degenerate
+    /// single-thread pool throws. Tasks still queued when the pool is
+    /// destroyed are dropped; tasks already running always complete before
+    /// the destructor returns. Mixing submit() and parallel_for() on one
+    /// pool is allowed; a dispatched fork-join job takes priority over
+    /// queued tasks on each worker.
+    void submit(std::function<void()> task);
+
+    /// Tasks enqueued via submit() and not yet picked up by a worker.
+    std::size_t queued_tasks() const;
+
 private:
+    struct Task {
+        std::function<void()> body;
+        std::uint64_t context = 0;  ///< TaskContextHook token of the submitter
+    };
+
     void worker_loop(int chunk_index);
     void run_chunk(int chunk_index);
+    void run_task(Task task);
     void record_error(int chunk_index, std::exception_ptr error);
 
     std::vector<std::thread> workers_;
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable start_cv_;
     std::condition_variable done_cv_;
     std::uint64_t generation_ = 0;
     int pending_ = 0;
     bool stop_ = false;
+    std::deque<Task> tasks_;
 
     // State of the in-flight parallel_for.
     std::size_t job_count_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 
 #include "common/error.hpp"
@@ -35,11 +36,15 @@ std::vector<std::string> scan_edpm_files(const std::string& dir) {
 
 }  // namespace
 
+std::size_t ModelRegistry::shard_index(const std::string& name) {
+    return std::hash<std::string>{}(name) % kShardCount;
+}
+
 RegistryLoadReport ModelRegistry::load_directory(const std::string& dir) {
     RegistryLoadReport report;
     const std::vector<std::string> paths = scan_edpm_files(dir);
 
-    // Parse everything outside the lock; serving continues meanwhile.
+    // Parse everything outside all locks; serving continues meanwhile.
     struct Parsed {
         std::string path;
         std::shared_ptr<const ServableModel> model;  // nullptr if quarantined
@@ -78,8 +83,10 @@ RegistryLoadReport ModelRegistry::load_directory(const std::string& dir) {
         }
     }
 
-    std::unique_lock lock(mutex_);
-    dir_ = dir;
+    {
+        std::lock_guard<std::mutex> lock(dir_mutex_);
+        dir_ = dir;
+    }
     // Names claimed by files in this scan, first (lexicographic) file wins.
     std::map<std::string, const Parsed*> by_name;
     for (const auto& p : parsed) {
@@ -96,41 +103,54 @@ RegistryLoadReport ModelRegistry::load_directory(const std::string& dir) {
             ++report.quarantined;
         }
     }
-    // Remove file-backed entries under this directory whose file vanished or
-    // no longer parses to the same name. Corrupt files keep their old entry.
     std::vector<std::string> quarantined_paths;
     for (const auto& p : parsed) {
         if (!p.model) {
             quarantined_paths.push_back(p.path);
         }
     }
-    for (auto it = entries_.begin(); it != entries_.end();) {
-        const Entry& e = it->second;
-        const bool file_backed = !e.path.empty();
-        const bool under_dir =
-            file_backed &&
-            fs::path(e.path).parent_path() == fs::path(dir);
-        if (!file_backed || !under_dir) {
-            ++it;
-            continue;
+
+    // Apply shard by shard, in index order, exclusive lock per shard. Each
+    // shard's update is atomic for its names (keep-last-good included); the
+    // pass as a whole is eventually consistent across shards, which is the
+    // documented reload contract.
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+        Shard& shard = shards_[s];
+        std::unique_lock lock(shard.mutex);
+        // Remove file-backed entries under this directory whose file
+        // vanished or no longer parses to the same name. Corrupt files keep
+        // their old entry.
+        for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+            const Entry& e = it->second;
+            const bool file_backed = !e.path.empty();
+            const bool under_dir =
+                file_backed &&
+                fs::path(e.path).parent_path() == fs::path(dir);
+            if (!file_backed || !under_dir) {
+                ++it;
+                continue;
+            }
+            const bool still_claimed = by_name.count(it->first) != 0;
+            const bool file_quarantined =
+                std::find(quarantined_paths.begin(), quarantined_paths.end(),
+                          e.path) != quarantined_paths.end();
+            if (still_claimed || file_quarantined) {
+                ++it;  // replaced below, or kept as the last good version
+                continue;
+            }
+            report.diagnostics.add(Severity::Info,
+                                   "removed '" + it->first +
+                                       "' (file gone: " + e.path + ")");
+            ++report.removed;
+            it = shard.entries.erase(it);
         }
-        const bool still_claimed = by_name.count(it->first) != 0;
-        const bool file_quarantined =
-            std::find(quarantined_paths.begin(), quarantined_paths.end(),
-                      e.path) != quarantined_paths.end();
-        if (still_claimed || file_quarantined) {
-            ++it;  // will be replaced below, or kept as the last good version
-            continue;
+        for (const auto& [name, p] : by_name) {
+            if (shard_index(name) != s) {
+                continue;
+            }
+            shard.entries[name] = Entry{p->model, p->path};
+            ++report.loaded;
         }
-        report.diagnostics.add(Severity::Info,
-                               "removed '" + it->first +
-                                   "' (file gone: " + e.path + ")");
-        ++report.removed;
-        it = entries_.erase(it);
-    }
-    for (const auto& [name, p] : by_name) {
-        entries_[name] = Entry{p->model, p->path};
-        ++report.loaded;
     }
     return report;
 }
@@ -138,7 +158,7 @@ RegistryLoadReport ModelRegistry::load_directory(const std::string& dir) {
 RegistryLoadReport ModelRegistry::reload() {
     std::string dir;
     {
-        std::shared_lock lock(mutex_);
+        std::lock_guard<std::mutex> lock(dir_mutex_);
         dir = dir_;
     }
     if (dir.empty()) {
@@ -152,33 +172,41 @@ void ModelRegistry::add(std::shared_ptr<const ServableModel> model) {
         throw InvalidArgumentError("ModelRegistry: null model");
     }
     // Read the key before the move: in `m[k] = v` the RHS is sequenced
-    // first, so `entries_[model->name] = {std::move(model), ...}` would
+    // first, so `entries[model->name] = {std::move(model), ...}` would
     // dereference an already-moved-from pointer.
     const std::string name = model->name;
-    std::unique_lock lock(mutex_);
-    entries_[name] = Entry{std::move(model), std::string()};
+    Shard& shard = shards_[shard_index(name)];
+    std::unique_lock lock(shard.mutex);
+    shard.entries[name] = Entry{std::move(model), std::string()};
 }
 
 std::shared_ptr<const ServableModel> ModelRegistry::find(
     const std::string& name) const {
-    std::shared_lock lock(mutex_);
-    const auto it = entries_.find(name);
-    return it == entries_.end() ? nullptr : it->second.model;
+    const Shard& shard = shards_[shard_index(name)];
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.entries.find(name);
+    return it == shard.entries.end() ? nullptr : it->second.model;
 }
 
 std::vector<std::string> ModelRegistry::names() const {
-    std::shared_lock lock(mutex_);
     std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto& [name, entry] : entries_) {
-        out.push_back(name);
+    for (const Shard& shard : shards_) {
+        std::shared_lock lock(shard.mutex);
+        for (const auto& [name, entry] : shard.entries) {
+            out.push_back(name);
+        }
     }
+    std::sort(out.begin(), out.end());
     return out;
 }
 
 std::size_t ModelRegistry::size() const {
-    std::shared_lock lock(mutex_);
-    return entries_.size();
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+        std::shared_lock lock(shard.mutex);
+        total += shard.entries.size();
+    }
+    return total;
 }
 
 }  // namespace extradeep::serve

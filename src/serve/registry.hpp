@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -19,21 +21,31 @@ struct RegistryLoadReport {
     DiagnosticLog diagnostics;
 };
 
-/// Thread-safe in-memory store of servable models, keyed by model name.
+/// Thread-safe in-memory store of servable models, keyed by model name and
+/// sharded by name hash so concurrent readers of different models never
+/// contend on one lock (the serve plane's lookup path).
 ///
 /// Concurrency contract:
-///  - Readers (find/names/size/snapshot) take a shared lock and return
+///  - The store is split into kShardCount shards (hash(name) % kShardCount),
+///    each with its own shared_mutex and name→entry map. Every single-name
+///    operation (find/add) touches exactly one shard.
+///  - Readers (find/names/size) take shared locks and return
 ///    shared_ptr<const ServableModel> values; a model handed out stays valid
 ///    for as long as the caller holds the pointer, even across a reload that
 ///    replaces or removes the entry. Loaded models are immutable.
-///  - load_directory/reload take the exclusive lock only for the final map
-///    swap; parsing happens outside the lock, so serving is never blocked on
-///    disk I/O.
+///  - load_directory/reload take exclusive locks only for the final
+///    per-shard swaps; parsing happens outside all locks, so serving is
+///    never blocked on disk I/O. Shards are updated one at a time in index
+///    order: each shard atomically keeps hot-reload and keep-last-good
+///    semantics for its names, while a reader racing the reload may observe
+///    some shards pre- and some post-reload (each individually consistent).
 ///  - Corrupt files are quarantined, never dropped silently: the load report
 ///    carries their diagnostics, and a corrupt *re*load of an existing entry
 ///    keeps the previous good model (a bad deploy cannot take down serving).
 class ModelRegistry {
 public:
+    static constexpr std::size_t kShardCount = 16;
+
     ModelRegistry() = default;
 
     /// Scans `dir` for *.edpm files (lexicographic order, tolerant parse)
@@ -55,10 +67,11 @@ public:
     /// existing entry with the same name.
     void add(std::shared_ptr<const ServableModel> model);
 
-    /// Looks a model up by name; nullptr if absent.
+    /// Looks a model up by name; nullptr if absent. Locks only the name's
+    /// shard, shared.
     std::shared_ptr<const ServableModel> find(const std::string& name) const;
 
-    /// All model names, sorted.
+    /// All model names, sorted (merged across shards).
     std::vector<std::string> names() const;
 
     std::size_t size() const;
@@ -69,8 +82,15 @@ private:
         std::string path;  ///< backing file, empty for programmatic entries
     };
 
-    mutable std::shared_mutex mutex_;
-    std::map<std::string, Entry> entries_;
+    struct Shard {
+        mutable std::shared_mutex mutex;
+        std::map<std::string, Entry> entries;
+    };
+
+    static std::size_t shard_index(const std::string& name);
+
+    std::array<Shard, kShardCount> shards_;
+    mutable std::mutex dir_mutex_;  ///< guards dir_ only
     std::string dir_;
 };
 

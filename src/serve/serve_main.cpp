@@ -1,13 +1,16 @@
 // extradeep-serve: model persistence and query serving.
 //
-// Four modes over the src/serve subsystem:
+// Five modes over the src/serve subsystem:
 //
-//   fit    — run one experiment and export the fitted models as a .edpm file
-//   serve  — load a directory of .edpm files and answer line-protocol
-//            queries over TCP (prints `LISTENING <port>` when ready)
-//   query  — client mode: send request lines to a running daemon
-//   ask    — offline mode: answer request lines directly from a directory,
-//            no daemon (byte-identical responses by construction)
+//   fit     — run one experiment and export the fitted models as a .edpm file
+//   serve   — load a directory of .edpm files and answer line-protocol
+//             queries over TCP (prints `LISTENING <port>` when ready)
+//   query   — client mode: send request lines to a running daemon
+//   ask     — offline mode: answer request lines directly from a directory,
+//             no daemon (byte-identical responses by construction)
+//   loadgen — load-generator client: N connections x M pipelined requests
+//             (closed- or open-loop) against a daemon, reporting qps and
+//             latency quantiles; drives the BENCH_serve.json regression gate
 //
 // Usage:
 //   extradeep-serve fit --out model.edpm [--name NAME] [--dataset D]
@@ -17,15 +20,22 @@
 //   extradeep-serve serve --models DIR [--port N] [--threads N]
 //   extradeep-serve query --port N [--host H] REQUEST...
 //   extradeep-serve ask --models DIR REQUEST...
+//   extradeep-serve loadgen (--self | --models DIR | --port N) [--host H]
+//                       [--connections N] [--requests M] [--pipeline D]
+//                       [--mode closed|open|both] [--threads N] [--timeout MS]
+//                       [--out FILE] [--thresholds FILE] [REQUEST...]
 
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "obs/session.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/query.hpp"
 #include "serve/registry.hpp"
 #include "serve/serialize.hpp"
@@ -43,8 +53,16 @@ void usage(const char* argv0) {
                  "                [--trace SPEC] [--fake-clock STEP_US]\n"
                  "       %s query --port N [--host H] REQUEST...\n"
                  "       %s ask --models DIR [--trace SPEC] "
-                 "[--fake-clock STEP_US] REQUEST...\n",
-                 argv0, argv0, argv0, argv0);
+                 "[--fake-clock STEP_US] REQUEST...\n"
+                 "       %s loadgen (--self | --models DIR | --port N) "
+                 "[--host H]\n"
+                 "               [--connections N] [--requests M] "
+                 "[--pipeline D]\n"
+                 "               [--mode closed|open|both] [--threads N] "
+                 "[--timeout MS]\n"
+                 "               [--out FILE] [--thresholds FILE] "
+                 "[REQUEST...]\n",
+                 argv0, argv0, argv0, argv0, argv0);
 }
 
 std::vector<int> parse_rank_list(const std::string& arg) {
@@ -328,6 +346,162 @@ int run_ask(Args args) {
     return 0;
 }
 
+std::string read_text_file(const std::string& path, const char* what) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw Error(std::string(what) + ": cannot read '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+int run_loadgen(Args args) {
+    serve::LoadGenOptions lg;
+    bool self = false;
+    std::string models_dir;
+    int daemon_threads = 0;
+    std::string mode_arg = "closed";
+    std::string out_path;
+    std::string thresholds_path;
+    std::string arg;
+    while (args.next(arg)) {
+        if (arg == "--self") {
+            self = true;
+        } else if (arg == "--models") {
+            models_dir = args.value(arg);
+        } else if (arg == "--port") {
+            lg.port = std::stoi(args.value(arg));
+        } else if (arg == "--host") {
+            lg.host = args.value(arg);
+        } else if (arg == "--connections") {
+            lg.connections = std::stoi(args.value(arg));
+        } else if (arg == "--requests") {
+            lg.requests_per_connection = std::stoi(args.value(arg));
+        } else if (arg == "--pipeline") {
+            lg.pipeline_depth = std::stoi(args.value(arg));
+        } else if (arg == "--mode") {
+            mode_arg = args.value(arg);
+        } else if (arg == "--threads") {
+            daemon_threads = std::stoi(args.value(arg));
+        } else if (arg == "--timeout") {
+            lg.timeout_ms = std::stoi(args.value(arg));
+        } else if (arg == "--out") {
+            out_path = args.value(arg);
+        } else if (arg == "--thresholds") {
+            thresholds_path = args.value(arg);
+        } else {
+            lg.requests.push_back(arg);
+        }
+    }
+    std::vector<serve::LoadMode> modes;
+    if (mode_arg == "closed") {
+        modes = {serve::LoadMode::Closed};
+    } else if (mode_arg == "open") {
+        modes = {serve::LoadMode::Open};
+    } else if (mode_arg == "both") {
+        modes = {serve::LoadMode::Closed, serve::LoadMode::Open};
+    } else {
+        throw InvalidArgumentError(
+            "loadgen: --mode must be closed, open or both");
+    }
+    const bool in_process = self || !models_dir.empty();
+    if (in_process == (lg.port > 0)) {
+        throw InvalidArgumentError(
+            "loadgen: exactly one of --self, --models DIR or --port N is "
+            "required");
+    }
+    if (lg.requests.empty()) {
+        if (!self) {
+            throw InvalidArgumentError(
+                "loadgen: REQUEST lines are required unless --self supplies "
+                "the default mix");
+        }
+        // Default --self mix: one request of each hot query kind against the
+        // in-process model, mirroring the BM_ServeQuery microbenchmark.
+        lg.requests = {
+            "predict loadgen 16",
+            "speedup loadgen 2 4 8 16 32",
+            "efficiency loadgen 2 4 8 16 32",
+            "cost loadgen 16",
+            "search loadgen inf inf 2 4 8 16 32",
+        };
+    }
+
+    // In-process target: build a registry (fitted here for --self, loaded
+    // from disk for --models) and run a daemon on an ephemeral port so the
+    // measurement includes the real socket/event-loop path.
+    std::unique_ptr<serve::ServeDaemon> daemon;
+    if (in_process) {
+        auto registry = std::make_shared<serve::ModelRegistry>();
+        if (self) {
+            ExperimentSpec spec;
+            spec.repetitions = 2;
+            registry->add(std::make_shared<const serve::ServableModel>(
+                serve::make_servable(spec, ExperimentRunner(spec).run(),
+                                     "loadgen")));
+        } else {
+            print_load_report(registry->load_directory(models_dir));
+        }
+        serve::ServerOptions options;
+        options.port = 0;
+        options.threads = daemon_threads;
+        auto engine = std::make_shared<serve::QueryEngine>(registry);
+        daemon = std::make_unique<serve::ServeDaemon>(std::move(engine),
+                                                      options);
+        daemon->start();
+        lg.host = "127.0.0.1";
+        lg.port = daemon->port();
+    }
+
+    std::vector<serve::LoadGenRecord> records;
+    for (const serve::LoadMode mode : modes) {
+        lg.mode = mode;
+        serve::LoadGenRecord record;
+        record.mode = serve::load_mode_name(mode);
+        record.result = serve::run_load(lg);
+        std::printf(
+            "%-6s %llu/%llu ok (%llu err) qps %.0f p50 %.0fus p95 %.0fus "
+            "p99 %.0fus max %.0fus\n",
+            record.mode.c_str(),
+            static_cast<unsigned long long>(record.result.responses_received),
+            static_cast<unsigned long long>(record.result.requests_sent),
+            static_cast<unsigned long long>(record.result.error_responses),
+            record.result.qps, record.result.latency_p50_us,
+            record.result.latency_p95_us, record.result.latency_p99_us,
+            record.result.latency_max_us);
+        records.push_back(std::move(record));
+    }
+
+    if (daemon) {
+        daemon->stop();
+        daemon->wait();
+    }
+
+    if (!out_path.empty()) {
+        const std::string report =
+            serve::load_report_json(lg, daemon_threads, records);
+        std::ofstream out(out_path, std::ios::binary);
+        if (!out || !(out << report)) {
+            throw Error("loadgen: cannot write '" + out_path + "'");
+        }
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (!thresholds_path.empty()) {
+        const std::vector<std::string> violations =
+            serve::check_load_thresholds(
+                read_text_file(thresholds_path, "loadgen"), records);
+        if (!violations.empty()) {
+            for (const auto& v : violations) {
+                std::fprintf(stderr, "threshold violation: %s\n", v.c_str());
+            }
+            return 1;
+        }
+        std::printf("thresholds ok (%s)\n", thresholds_path.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +523,9 @@ int main(int argc, char** argv) {
         }
         if (mode == "ask") {
             return run_ask(args);
+        }
+        if (mode == "loadgen") {
+            return run_loadgen(args);
         }
         if (mode == "-h" || mode == "--help") {
             usage(argv[0]);

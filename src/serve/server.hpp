@@ -1,7 +1,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,20 +12,32 @@
 
 namespace extradeep::serve {
 
+/// Longest accepted request line in bytes, terminator excluded. A line of
+/// exactly this length is served; one byte more is a protocol violation that
+/// terminates the connection (a legitimate request is always short).
+inline constexpr std::size_t kMaxRequestLine = 1 << 16;
+
 struct ServerOptions {
     /// Loopback only by design: extradeep-serve is a local analysis daemon,
     /// not an internet-facing service.
     std::string host = "127.0.0.1";
     /// 0 = let the kernel pick an ephemeral port (read it back via port()).
     int port = 0;
-    /// Connection-handling threads (the common/parallel_for pool);
-    /// 0 or negative = hardware concurrency.
+    /// Request-handling worker threads (dispatched onto the shared
+    /// common/parallel_for ThreadPool); 0 or negative = hardware
+    /// concurrency. The event loop itself runs on one additional thread.
     int threads = 4;
-    /// Per-connection receive timeout. An idle client is disconnected so a
-    /// stalled peer cannot pin a handler thread forever.
+    /// Per-connection idle timeout: a connection with no readable progress
+    /// and no request in flight for this long is disconnected, so a stalled
+    /// peer cannot pin a connection slot forever. Also bounds the shutdown
+    /// drain (see stop()/`shutdown`). <= 0 disables the idle timeout.
     int recv_timeout_ms = 5000;
-    /// Poll interval of the accept loop (stop-flag latency).
+    /// Upper bound on the epoll_wait tick (stop-flag and idle-scan latency).
     int accept_poll_ms = 50;
+    /// Write-buffer cap per connection: while a connection has more than
+    /// this many response bytes unflushed (a client that sends but never
+    /// reads), the daemon stops reading from it until the buffer drains.
+    std::size_t max_write_buffer = 1 << 20;
 };
 
 /// Line-protocol TCP daemon over a QueryEngine.
@@ -34,16 +46,24 @@ struct ServerOptions {
 /// order, per connection. The daemon adds nothing to QueryEngine responses,
 /// so network answers are byte-identical to library calls. Two transport
 /// commands are handled here rather than in the engine: `quit` closes the
-/// connection, `shutdown` closes the connection and stops the daemon (both
-/// answer `ok bye` first).
+/// connection, `shutdown` drains and stops the daemon (both answer `ok bye`
+/// first; responses to earlier pipelined requests are still delivered in
+/// order before the `ok bye`).
 ///
-/// Concurrency model: the accept loop drains all pending connections into a
-/// batch and processes the batch on the shared fork-join ThreadPool
-/// (common/parallel_for), one connection per chunk, until every connection
-/// in the batch has terminated (EOF, `quit`, error, or idle timeout). New
-/// connections arriving mid-batch wait in the listen backlog. Results are
+/// Concurrency model (event loop, no head-of-line blocking): one thread
+/// runs an epoll loop over the non-blocking listener and all connection
+/// sockets, each with its own read/write buffer. Complete request lines are
+/// dispatched one at a time per connection onto the worker pool
+/// (ThreadPool::submit), so responses stay in request order per connection
+/// while connections never wait on each other — a slow, stalled, or
+/// pipelining client cannot delay anyone else, structurally. Results are
 /// deterministic for any client mix because every request is answered from
 /// an immutable registry snapshot and connections never share state.
+///
+/// Shutdown drain: a `shutdown` request (or stop()) closes the listener,
+/// then keeps serving until every live connection's already-received
+/// requests are answered and flushed, bounded by recv_timeout_ms; only then
+/// does the loop exit. In-flight clients get all their responses.
 class ServeDaemon {
 public:
     ServeDaemon(std::shared_ptr<QueryEngine> engine, ServerOptions options);
@@ -52,41 +72,50 @@ public:
     ServeDaemon(const ServeDaemon&) = delete;
     ServeDaemon& operator=(const ServeDaemon&) = delete;
 
-    /// Binds, listens, and spawns the accept loop. Throws Error if the
-    /// socket cannot be created or bound.
+    /// Binds, listens, and spawns the event loop. Throws Error if the
+    /// socket cannot be created or bound; no file descriptor leaks on any
+    /// failure path (including thread construction).
     void start();
 
     /// The bound port (resolved after start(), also for ephemeral requests).
     int port() const { return port_; }
 
-    /// Requests shutdown and closes the listening socket. Idempotent.
+    /// Requests shutdown (with drain) and wakes the event loop. Idempotent
+    /// and async-signal-safe (an atomic store plus one write(2)).
     void stop();
 
     /// Blocks until the daemon has stopped (via stop() or a `shutdown`
-    /// request) and the accept loop has exited.
+    /// request) and the event loop has exited.
     void wait();
 
     bool running() const { return running_.load(); }
 
 private:
+    struct Completion {
+        std::uint64_t conn_id = 0;
+        std::string response;
+    };
+
     void loop();
-    void handle_connection(int fd);
+    void wake();
 
     std::shared_ptr<QueryEngine> engine_;
     ServerOptions options_;
     int listen_fd_ = -1;
+    int wake_fd_ = -1;
     int port_ = 0;
     std::atomic<bool> stop_{false};
     std::atomic<bool> running_{false};
     std::thread loop_thread_;
-    std::mutex wait_mutex_;
-    std::condition_variable wait_cv_;
+    std::mutex completions_mutex_;
+    std::vector<Completion> completions_;
 };
 
 /// Client helper: connects, sends every request (newline-terminated), half-
 /// closes the write side, and returns one response line per request. Used
 /// by the `extradeep-serve query` client mode and the daemon tests. Throws
-/// Error on connection failure or a short response stream.
+/// Error on connection failure or a short response stream; the message
+/// distinguishes a receive timeout from a closed connection.
 std::vector<std::string> query_daemon(const std::string& host, int port,
                                       const std::vector<std::string>& requests,
                                       int timeout_ms = 10000);

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -99,6 +101,127 @@ TEST(ParallelFor, PoolIsReusableAcrossCalls) {
         });
         EXPECT_EQ(sum, 999L * 1000L / 2);
     }
+}
+
+/// Countdown latch for the submit() tests: tasks signal, the test waits.
+class Latch {
+public:
+    explicit Latch(int count) : count_(count) {}
+    void count_down() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--count_ == 0) {
+            cv_.notify_all();
+        }
+    }
+    void wait() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return count_ <= 0; });
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    int count_;
+};
+
+TEST(ThreadPoolSubmit, RunsEveryTask) {
+    ThreadPool pool(4);
+    constexpr int kTasks = 200;
+    std::atomic<int> ran{0};
+    Latch done(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            ran.fetch_add(1);
+            done.count_down();
+        });
+    }
+    done.wait();
+    EXPECT_EQ(ran.load(), kTasks);
+    EXPECT_EQ(pool.queued_tasks(), 0u);
+}
+
+TEST(ThreadPoolSubmit, SingleWorkerRunsFifo) {
+    // ThreadPool(2) = caller + exactly one background worker, so submitted
+    // tasks must execute in submission order.
+    ThreadPool pool(2);
+    constexpr int kTasks = 64;
+    std::vector<int> order;
+    std::mutex order_mutex;
+    Latch done(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&, i] {
+            {
+                std::lock_guard<std::mutex> lock(order_mutex);
+                order.push_back(i);
+            }
+            done.count_down();
+        });
+    }
+    done.wait();
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(kTasks));
+    for (int i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+    }
+}
+
+TEST(ThreadPoolSubmit, ThrowsOnWorkerlessPool) {
+    // A degenerate pool has no background worker to ever run the task; the
+    // contract is to fail loudly instead of queueing forever.
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPoolSubmit, QueuedTasksReportsBacklog) {
+    ThreadPool pool(2);  // one background worker
+    std::mutex gate;
+    std::condition_variable gate_cv;
+    bool open = false;
+    Latch started(1);
+    pool.submit([&] {
+        started.count_down();
+        std::unique_lock<std::mutex> lock(gate);
+        gate_cv.wait(lock, [&] { return open; });
+    });
+    started.wait();  // the worker is now parked inside the first task
+    Latch rest(3);
+    for (int i = 0; i < 3; ++i) {
+        pool.submit([&] { rest.count_down(); });
+    }
+    EXPECT_EQ(pool.queued_tasks(), 3u);
+    {
+        std::lock_guard<std::mutex> lock(gate);
+        open = true;
+    }
+    gate_cv.notify_all();
+    rest.wait();
+    EXPECT_EQ(pool.queued_tasks(), 0u);
+}
+
+TEST(ThreadPoolSubmit, CoexistsWithParallelFor) {
+    // The serve daemon's usage pattern: detached tasks in flight while the
+    // same pool also serves fork-join loops. Both must complete, and the
+    // fork-join job must not deadlock behind queued tasks.
+    ThreadPool pool(4);
+    constexpr int kTasks = 100;
+    std::atomic<int> ran{0};
+    Latch done(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            ran.fetch_add(1);
+            done.count_down();
+        });
+    }
+    std::atomic<long> sum{0};
+    pool.parallel_for(1000, [&](int, std::size_t begin, std::size_t end) {
+        long local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            local += static_cast<long>(i);
+        }
+        sum += local;
+    });
+    EXPECT_EQ(sum, 999L * 1000L / 2);
+    done.wait();
+    EXPECT_EQ(ran.load(), kTasks);
 }
 
 TEST(ResolveNumThreads, Semantics) {

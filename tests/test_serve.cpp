@@ -5,19 +5,30 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/clock.hpp"
+#include "serve/loadgen.hpp"
 #include "serve/query.hpp"
 #include "serve/registry.hpp"
 #include "serve/serialize.hpp"
 #include "serve/server.hpp"
+#include "serve/socket_util.hpp"
 
 using namespace extradeep;
 
@@ -442,6 +453,395 @@ TEST(ServeDaemon, ShutdownRequestStopsTheDaemon) {
     EXPECT_EQ(responses[1], "ok bye");
     daemon.wait();
     EXPECT_FALSE(daemon.running());
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop robustness (adversarial clients)
+// ---------------------------------------------------------------------------
+
+std::uint64_t now_ns() { return obs::steady_clock_instance().now_ns(); }
+
+TEST(ServeDaemon, StalledConnectionDoesNotBlockOtherClients) {
+    // The head-of-line regression test: with the old batch-accept-and-barrier
+    // loop, a connection that sends nothing pinned every later client until
+    // the recv timeout. With the event loop, a fast client on a second
+    // connection must be served immediately while the stalled one idles.
+    auto engine = engine_over(test_model());
+    serve::ServerOptions options;
+    options.threads = 2;
+    options.recv_timeout_ms = 30000;  // a stalled HOL would cost ~30s
+    serve::ServeDaemon daemon(engine, options);
+    daemon.start();
+
+    serve::FdGuard stalled(
+        serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    // Half a request line, never completed: the connection stays open and
+    // request-less for the whole test.
+    serve::send_all(stalled.get(), "predict cifar10-");
+
+    const std::uint64_t begin = now_ns();
+    const std::vector<std::string> requests =
+        all_kind_requests("cifar10-weak");
+    const std::vector<std::string> responses =
+        serve::query_daemon("127.0.0.1", daemon.port(), requests);
+    const double elapsed_s =
+        static_cast<double>(now_ns() - begin) / 1e9;
+
+    auto reference = engine_over(test_model());
+    ASSERT_EQ(responses.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EXPECT_EQ(responses[i], reference->execute(requests[i]));
+    }
+    // Far below the 30s idle timeout the stalled connection is sitting on.
+    EXPECT_LT(elapsed_s, 10.0);
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, SlowLorisByteAtATimeIsServed) {
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+    serve::FdGuard fd(serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    const std::string request = "predict cifar10-weak 16\n";
+    for (const char byte : request) {
+        serve::send_all(fd.get(), std::string(1, byte));
+        ::usleep(1000);
+    }
+    serve::LineReader reader(fd.get(), serve::kMaxRequestLine);
+    std::string line;
+    ASSERT_TRUE(reader.next_line(line));
+    auto reference = engine_over(test_model());
+    EXPECT_EQ(line, reference->execute("predict cifar10-weak 16"));
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, LineAtExactlyMaxLengthIsServed) {
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+    serve::FdGuard fd(serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    // Exactly kMaxRequestLine bytes before the newline: still a legal line.
+    serve::send_all(fd.get(),
+                    std::string(serve::kMaxRequestLine, 'a') + "\n");
+    // The error response echoes the command, so it is longer than the
+    // request; give the client-side reader comfortable headroom.
+    serve::LineReader reader(fd.get(), serve::kMaxRequestLine + 256);
+    std::string line;
+    ASSERT_TRUE(reader.next_line(line));
+    EXPECT_EQ(line.substr(0, 4), "err ");
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, OversizedLineClosesTheConnection) {
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+    serve::FdGuard fd(serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    // One byte past the limit: the daemon must drop the connection without
+    // answering rather than buffer an unbounded line.
+    serve::send_all(fd.get(),
+                    std::string(serve::kMaxRequestLine + 1, 'a') + "\n");
+    serve::LineReader reader(fd.get(), serve::kMaxRequestLine + 16);
+    std::string line;
+    EXPECT_FALSE(reader.next_line(line));
+    EXPECT_EQ(reader.status(), serve::ReadStatus::Eof);
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, UnterminatedTrailingLineIsServed) {
+    // A client may send its last request without a newline and half-close;
+    // EOF terminates the line.
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+    serve::FdGuard fd(serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    serve::send_all(fd.get(), "ping\nping");
+    ::shutdown(fd.get(), SHUT_WR);
+    serve::LineReader reader(fd.get(), serve::kMaxRequestLine);
+    std::string line;
+    ASSERT_TRUE(reader.next_line(line));
+    EXPECT_EQ(line, "ok pong");
+    ASSERT_TRUE(reader.next_line(line));
+    EXPECT_EQ(line, "ok pong");
+    EXPECT_FALSE(reader.next_line(line));
+    EXPECT_EQ(reader.status(), serve::ReadStatus::Eof);
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(ServeDaemon, ShutdownDrainsPipelinedRequestsOnLiveConnections) {
+    // A `shutdown` from one client must not abort another client's already-
+    // sent requests: the drain serves them all before the daemon exits.
+    auto engine = engine_over(test_model());
+    serve::ServerOptions options;
+    options.threads = 2;
+    serve::ServeDaemon daemon(engine, options);
+    daemon.start();
+
+    serve::FdGuard pipelined(
+        serve::connect_to("127.0.0.1", daemon.port(), 5000));
+    constexpr int kPipelined = 10;
+    std::string burst;
+    for (int i = 0; i < kPipelined; ++i) {
+        burst += "predict cifar10-weak 16\n";
+    }
+    serve::send_all(pipelined.get(), burst);
+
+    const auto shutdown_response =
+        serve::query_daemon("127.0.0.1", daemon.port(), {"shutdown"});
+    ASSERT_EQ(shutdown_response.size(), 1u);
+    EXPECT_EQ(shutdown_response[0], "ok bye");
+
+    auto reference = engine_over(test_model());
+    const std::string expected = reference->execute("predict cifar10-weak 16");
+    serve::LineReader reader(pipelined.get(), serve::kMaxRequestLine);
+    std::string line;
+    for (int i = 0; i < kPipelined; ++i) {
+        ASSERT_TRUE(reader.next_line(line)) << "response " << i;
+        EXPECT_EQ(line, expected);
+    }
+    daemon.wait();
+    EXPECT_FALSE(daemon.running());
+}
+
+std::atomic<int> g_sigusr1_count{0};
+
+void count_sigusr1(int) { g_sigusr1_count.fetch_add(1); }
+
+TEST(ServeDaemon, ClientSurvivesSignalInterruption) {
+    // EINTR robustness: pepper the client thread with SIGUSR1 (handler
+    // installed *without* SA_RESTART, so every blocking connect/send/recv
+    // can fail with EINTR) while it runs full query batches. Every syscall
+    // wrapper in socket_util must retry, so all responses still arrive.
+    struct sigaction action {};
+    action.sa_handler = count_sigusr1;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART
+    struct sigaction previous {};
+    ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+
+    const std::vector<std::string> requests =
+        all_kind_requests("cifar10-weak");
+    auto reference = engine_over(test_model());
+    std::vector<std::string> expected;
+    for (const auto& r : requests) {
+        expected.push_back(reference->execute(r));
+    }
+
+    std::vector<std::vector<std::string>> got;
+    std::atomic<bool> finished{false};
+    std::atomic<bool> pepper_done{false};
+    std::thread client([&] {
+        for (int round = 0; round < 10; ++round) {
+            got.push_back(
+                serve::query_daemon("127.0.0.1", daemon.port(), requests));
+        }
+        finished.store(true);
+        while (!pepper_done.load()) {  // stay alive while signals incoming
+            ::usleep(200);
+        }
+    });
+    while (!finished.load()) {
+        pthread_kill(client.native_handle(), SIGUSR1);
+        ::usleep(200);
+    }
+    pepper_done.store(true);
+    client.join();
+    ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+    EXPECT_GT(g_sigusr1_count.load(), 0);
+    ASSERT_EQ(got.size(), 10u);
+    for (const auto& round : got) {
+        EXPECT_EQ(round, expected);
+    }
+    daemon.stop();
+    daemon.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Registry sharding
+// ---------------------------------------------------------------------------
+
+TEST(ModelRegistry, NamesAreSortedAcrossShards) {
+    serve::ModelRegistry registry;
+    std::vector<std::string> expected;
+    for (int i = 0; i < 40; ++i) {
+        const std::string name = "model-" + std::to_string(i);
+        registry.add(std::make_shared<const serve::ServableModel>(
+            test_model(name)));
+        expected.push_back(name);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(registry.names(), expected);
+    EXPECT_EQ(registry.size(), 40u);
+}
+
+TEST(ModelRegistry, ConcurrentReadersDuringReloadAlwaysFindModels) {
+    // Readers racing hot reloads must never observe a missing or null model:
+    // each shard swaps atomically and keep-last-good holds per shard.
+    const fs::path dir = fresh_dir("shard-race");
+    std::vector<std::string> names;
+    for (int i = 0; i < 8; ++i) {
+        const std::string name = "race-" + std::to_string(i);
+        serve::write_edpm_file((dir / (name + ".edpm")).string(),
+                               test_model(name));
+        names.push_back(name);
+    }
+    serve::ModelRegistry registry;
+    registry.load_directory(dir.string());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> misses{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load()) {
+                for (const auto& name : names) {
+                    if (registry.find(name) == nullptr) {
+                        misses.fetch_add(1);
+                    }
+                }
+                const auto all = registry.names();
+                if (!std::is_sorted(all.begin(), all.end())) {
+                    misses.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (int round = 0; round < 20; ++round) {
+        registry.reload();
+        registry.add(std::make_shared<const serve::ServableModel>(
+            test_model("programmatic-" + std::to_string(round))));
+    }
+    stop.store(true);
+    for (auto& t : readers) {
+        t.join();
+    }
+    EXPECT_EQ(misses.load(), 0);
+    EXPECT_EQ(registry.size(), names.size() + 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+TEST(LoadGen, ClosedLoopMeasuresEveryResponse) {
+    auto engine = engine_over(test_model());
+    serve::ServerOptions options;
+    options.threads = 2;
+    serve::ServeDaemon daemon(engine, options);
+    daemon.start();
+
+    serve::LoadGenOptions lg;
+    lg.port = daemon.port();
+    lg.connections = 4;
+    lg.requests_per_connection = 25;
+    lg.pipeline_depth = 4;
+    lg.mode = serve::LoadMode::Closed;
+    lg.requests = {"ping", "predict cifar10-weak 16"};
+    const serve::LoadGenResult result = serve::run_load(lg);
+    EXPECT_EQ(result.requests_sent, 100u);
+    EXPECT_EQ(result.responses_received, 100u);
+    EXPECT_EQ(result.error_responses, 0u);
+    EXPECT_GT(result.qps, 0.0);
+    EXPECT_GT(result.wall_seconds, 0.0);
+    EXPECT_GE(result.latency_p99_us, result.latency_p50_us);
+    EXPECT_GE(result.latency_max_us, 0.0);
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(LoadGen, OpenLoopCountsErrorResponses) {
+    auto engine = engine_over(test_model());
+    serve::ServeDaemon daemon(engine, serve::ServerOptions{});
+    daemon.start();
+
+    serve::LoadGenOptions lg;
+    lg.port = daemon.port();
+    lg.connections = 2;
+    lg.requests_per_connection = 10;
+    lg.mode = serve::LoadMode::Open;
+    lg.requests = {"ping", "predict nosuch 16"};  // every 2nd is a protocol err
+    const serve::LoadGenResult result = serve::run_load(lg);
+    EXPECT_EQ(result.responses_received, 20u);
+    EXPECT_EQ(result.error_responses, 10u);
+    daemon.stop();
+    daemon.wait();
+}
+
+TEST(LoadGen, RejectsBadOptions) {
+    serve::LoadGenOptions lg;
+    lg.requests = {"ping"};
+    EXPECT_THROW(serve::run_load(lg), InvalidArgumentError);  // port unset
+    lg.port = 1;
+    lg.connections = 0;
+    EXPECT_THROW(serve::run_load(lg), InvalidArgumentError);
+    lg.connections = 1;
+    lg.requests.clear();
+    EXPECT_THROW(serve::run_load(lg), InvalidArgumentError);
+}
+
+std::vector<serve::LoadGenRecord> fake_records() {
+    serve::LoadGenRecord closed;
+    closed.mode = "closed";
+    closed.result.qps = 1000.0;
+    closed.result.latency_p99_us = 5000.0;
+    closed.result.error_responses = 0;
+    closed.result.responses_received = 400;
+    serve::LoadGenRecord open = closed;
+    open.mode = "open";
+    open.result.qps = 2000.0;
+    return {closed, open};
+}
+
+TEST(LoadGen, ThresholdsPassAndFailCorrectly) {
+    const auto records = fake_records();
+    EXPECT_TRUE(serve::check_load_thresholds(
+                    R"({"rules": [
+                        {"mode": "*", "metric": "errors", "max": 0},
+                        {"mode": "closed", "metric": "qps", "min": 500},
+                        {"mode": "open", "metric": "latency_p99_us",
+                         "max": 10000}]})",
+                    records)
+                    .empty());
+    // min violated on the closed record only.
+    const auto min_violation = serve::check_load_thresholds(
+        R"({"rules": [{"mode": "closed", "metric": "qps", "min": 1500}]})",
+        records);
+    ASSERT_EQ(min_violation.size(), 1u);
+    EXPECT_NE(min_violation[0].find("below min"), std::string::npos);
+    // A wildcard rule checks every record: one of the two trips it.
+    EXPECT_EQ(serve::check_load_thresholds(
+                  R"({"rules": [{"mode": "*", "metric": "qps",
+                                 "max": 1500}]})",
+                  records)
+                  .size(),
+              1u);
+}
+
+TEST(LoadGen, StaleThresholdRuleIsAViolation) {
+    const auto records = fake_records();
+    const auto violations = serve::check_load_thresholds(
+        R"({"rules": [{"mode": "burst", "metric": "qps", "min": 1}]})",
+        records);
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations[0].find("matched no measurement record"),
+              std::string::npos);
+    const auto unknown = serve::check_load_thresholds(
+        R"({"rules": [{"mode": "*", "metric": "nosuch", "min": 1}]})",
+        records);
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_NE(unknown[0].find("unknown metric"), std::string::npos);
+    EXPECT_THROW(serve::check_load_thresholds(R"({"no_rules": []})", records),
+                 ParseError);
 }
 
 }  // namespace
