@@ -13,38 +13,42 @@ cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/7] Release build + full test suite =="
+echo "== [1/8] Release build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default -j "${jobs}"
 
-echo "== [2/7] Accuracy harness (quick suite + calibrated thresholds) =="
+echo "== [2/8] Accuracy harness (quick suite + calibrated thresholds) =="
 ./build/src/eval/extradeep-eval --quick \
     --thresholds "${repo_root}/eval_thresholds.json"
 
-echo "== [3/7] Serving smoke: fit -> .edpm -> daemon -> client =="
+echo "== [3/8] What-if advisor gate: predictions vs re-simulation =="
+./build/src/advisor/extradeep-advisor --quick \
+    --thresholds "${repo_root}/whatif_thresholds.json"
+
+echo "== [4/8] Serving smoke: fit -> .edpm -> daemon -> client =="
 scripts/serve_smoke.sh ./build/src/serve/extradeep-serve
 
-echo "== [4/7] Serve-plane load gate: loadgen vs serve_thresholds.json =="
+echo "== [5/8] Serve-plane load gate: loadgen vs serve_thresholds.json =="
 ./build/src/serve/extradeep-serve loadgen --self --connections 8 \
     --requests 200 --pipeline 8 --mode both \
     --thresholds "${repo_root}/serve_thresholds.json"
 
-echo "== [5/7] Observability smoke: traced fit, validated artifacts =="
+echo "== [6/8] Observability smoke: traced fit, validated artifacts =="
 scripts/obs_smoke.sh ./build/src/serve/extradeep-serve \
     ./build/src/eval/extradeep-eval
 
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-    echo "== [6/7] ASan+UBSan build + sanitize_smoke suite =="
+    echo "== [7/8] ASan+UBSan build + sanitize_smoke suite =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${jobs}"
     ctest --preset sanitize-smoke -j "${jobs}"
 
-    echo "== [7/7] Accuracy harness under sanitizers =="
+    echo "== [8/8] Accuracy harness under sanitizers =="
     ./build-sanitize/src/eval/extradeep-eval --quick \
         --thresholds "${repo_root}/eval_thresholds.json"
 else
-    echo "== [6-7/7] skipped (SKIP_SANITIZE=1) =="
+    echo "== [7-8/8] skipped (SKIP_SANITIZE=1) =="
 fi
 
 echo "ci_check: all green"

@@ -58,6 +58,8 @@ requests=(
     "efficiency smoke 2 4 8 16"
     "cost smoke 16"
     "search smoke inf inf 2 4 8 16 32"
+    "whatif smoke 16 interconnect:2+overlap:0.5"
+    "advise smoke 16 3"
 )
 
 echo "== query daemon, compare against offline ask mode =="
@@ -113,7 +115,8 @@ echo "== loadgen against the running daemon =="
 # error response fails the run (loadgen exits non-zero on a short stream).
 "${serve_bin}" loadgen --port "${port}" --connections 4 --requests 50 \
     --pipeline 4 --mode both --out "${workdir}/bench_serve.json" \
-    "predict smoke 16" "speedup smoke 2 4 8 16" "cost smoke 16"
+    "predict smoke 16" "speedup smoke 2 4 8 16" "cost smoke 16" \
+    "whatif smoke 16 interconnect:2" "advise smoke 16 3"
 grep -q '"schema": "extradeep-serve-bench/1"' "${workdir}/bench_serve.json" || {
     echo "FAIL: loadgen report missing schema marker"
     exit 1

@@ -1,0 +1,200 @@
+#include "advisor/ground_truth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "advisor/whatif.hpp"
+#include "common/error.hpp"
+#include "profiling/profiler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/kernel.hpp"
+
+namespace extradeep::advisor {
+
+namespace {
+
+using trace::Phase;
+
+/// Seed salt of the what-if ground-truth runs: independent of both the
+/// profiled runs and the runner's evaluation measurements, so verification
+/// never scores the advisor on the noise realisations the models were
+/// fitted on.
+constexpr std::uint64_t kWhatIfSeedSalt = 0x57494654ULL;  // "WIFT"
+
+double median(std::vector<double> values) {
+    if (values.empty()) {
+        throw InvalidArgumentError("median: empty sample");
+    }
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    return n % 2 == 1 ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+/// Merges the top-k on-GPU compute kernels in place (selection identical to
+/// the advisor's fusion_saving: train_time descending, name ascending) and
+/// shrinks the launch/dispatch kernels by the saved launches.
+void apply_fusion(sim::StepSchedule& schedule, int k) {
+    if (k < 2) {
+        return;
+    }
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < schedule.kernels.size(); ++i) {
+        const sim::KernelDesc& kd = schedule.kernels[i];
+        if (kd.on_gpu &&
+            trace::phase_of(kd.category) == Phase::Computation) {
+            candidates.push_back(i);
+        }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&schedule](std::size_t a, std::size_t b) {
+                  const sim::KernelDesc& ka = schedule.kernels[a];
+                  const sim::KernelDesc& kb = schedule.kernels[b];
+                  if (ka.train_time != kb.train_time) {
+                      return ka.train_time > kb.train_time;
+                  }
+                  return ka.name < kb.name;
+              });
+    if (candidates.size() > static_cast<std::size_t>(k)) {
+        candidates.resize(static_cast<std::size_t>(k));
+    }
+    if (candidates.size() < 2) {
+        return;
+    }
+
+    // Accumulate the constituents into the largest one's slot; zero the
+    // rest. The merged kernel launches once per step.
+    sim::KernelDesc merged = schedule.kernels[candidates[0]];
+    std::int64_t train_visits = 0;
+    std::int64_t val_visits = 0;
+    for (std::size_t j = 1; j < candidates.size(); ++j) {
+        const sim::KernelDesc& kd = schedule.kernels[candidates[j]];
+        merged.train_time += kd.train_time;
+        merged.val_time += kd.val_time;
+        merged.train_bytes += kd.train_bytes;
+        merged.val_bytes += kd.val_bytes;
+    }
+    for (const std::size_t i : candidates) {
+        train_visits += schedule.kernels[i].train_visits;
+        val_visits += schedule.kernels[i].val_visits;
+    }
+    merged.train_visits = train_visits > 0 ? 1 : 0;
+    merged.val_visits = val_visits > 0 ? 1 : 0;
+    const std::int64_t saved_t =
+        std::max<std::int64_t>(0, train_visits - merged.train_visits);
+    const std::int64_t saved_v =
+        std::max<std::int64_t>(0, val_visits - merged.val_visits);
+    schedule.kernels[candidates[0]] = std::move(merged);
+    for (std::size_t j = 1; j < candidates.size(); ++j) {
+        sim::KernelDesc& kd = schedule.kernels[candidates[j]];
+        kd.train_time = 0.0;
+        kd.val_time = 0.0;
+        kd.train_bytes = 0.0;
+        kd.val_bytes = 0.0;
+        kd.train_visits = 0;
+        kd.val_visits = 0;
+    }
+
+    // Every saved launch drops one cudaLaunchKernel call and one framework
+    // dispatch — the per-launch overheads fusion exists to eliminate.
+    for (auto& kd : schedule.kernels) {
+        if (kd.name != "cudaLaunchKernel" &&
+            kd.name != "ExecutorState::Process" &&
+            kd.name != "aten::dispatch") {
+            continue;
+        }
+        if (kd.train_visits > 0) {
+            const double pv =
+                kd.train_time / static_cast<double>(kd.train_visits);
+            const std::int64_t cut = std::min(saved_t, kd.train_visits);
+            kd.train_time -= pv * static_cast<double>(cut);
+            kd.train_visits -= cut;
+        }
+        if (kd.val_visits > 0) {
+            const double pv =
+                kd.val_time / static_cast<double>(kd.val_visits);
+            const std::int64_t cut = std::min(saved_v, kd.val_visits);
+            kd.val_time -= pv * static_cast<double>(cut);
+            kd.val_visits -= cut;
+        }
+    }
+}
+
+/// Scales every communication kernel so that `fraction` of the per-step
+/// communication time is hidden under the step's computation (capped at the
+/// available computation).
+void apply_overlap(sim::StepSchedule& schedule, double fraction) {
+    if (fraction <= 0.0) {
+        return;
+    }
+    double comm_t = 0.0, comm_v = 0.0, comp_t = 0.0, comp_v = 0.0;
+    for (const auto& kd : schedule.kernels) {
+        switch (trace::phase_of(kd.category)) {
+            case Phase::Communication:
+                comm_t += kd.train_time;
+                comm_v += kd.val_time;
+                break;
+            case Phase::Computation:
+                comp_t += kd.train_time;
+                comp_v += kd.val_time;
+                break;
+            case Phase::MemoryOp:
+                break;
+        }
+    }
+    const double hidden_t = std::min(fraction * comm_t, comp_t);
+    const double hidden_v = std::min(fraction * comm_v, comp_v);
+    const double scale_t = comm_t > 0.0 ? (comm_t - hidden_t) / comm_t : 1.0;
+    const double scale_v = comm_v > 0.0 ? (comm_v - hidden_v) / comm_v : 1.0;
+    for (auto& kd : schedule.kernels) {
+        if (trace::phase_of(kd.category) == Phase::Communication) {
+            kd.train_time *= scale_t;
+            kd.val_time *= scale_v;
+        }
+    }
+}
+
+}  // namespace
+
+sim::StepSchedule mutated_schedule(const sim::Workload& base,
+                                   const Scenario& sc) {
+    sim::Workload mutated = base;
+    mutated.system = mutate_system(base.system, sc);
+    sim::StepSchedule schedule = sim::build_step_schedule(mutated);
+    apply_fusion(schedule, sc.fuse);
+    apply_overlap(schedule, sc.overlap);
+    return schedule;
+}
+
+GroundTruth simulate_saving(const sim::Workload& base, const Scenario& sc,
+                            int repetitions, std::uint64_t seed) {
+    if (repetitions < 1) {
+        throw InvalidArgumentError("simulate_saving: repetitions must be >= 1");
+    }
+    const sim::TrainingSimulator base_sim(base);
+    const sim::TrainingSimulator scen_sim(base, mutated_schedule(base, sc));
+    const std::map<std::string, double> params{
+        {"x1", static_cast<double>(base.parallel.total_ranks)}};
+    std::vector<double> base_walls, scen_walls, savings;
+    base_walls.reserve(repetitions);
+    scen_walls.reserve(repetitions);
+    savings.reserve(repetitions);
+    for (int rep = 0; rep < repetitions; ++rep) {
+        const std::uint64_t run_seed =
+            profiling::run_seed_for(params, rep, seed ^ kWhatIfSeedSalt);
+        const double b = base_sim.measure_epoch_wall(run_seed);
+        const double m = scen_sim.measure_epoch_wall(run_seed);
+        base_walls.push_back(b);
+        scen_walls.push_back(m);
+        savings.push_back(b - m);
+    }
+    GroundTruth out;
+    out.base_time = median(base_walls);
+    out.scenario_time = median(scen_walls);
+    out.saving = median(savings);
+    return out;
+}
+
+}  // namespace extradeep::advisor

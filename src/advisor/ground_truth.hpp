@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "advisor/scenario.hpp"
+#include "sim/kernel_schedule.hpp"
+#include "sim/workload.hpp"
+
+namespace extradeep::advisor {
+
+/// The simulator-side mirror of a scenario: rebuilds `base`'s step schedule
+/// under the mutated system (same kernel population and order — only
+/// communication costs change), then applies kernel fusion in place (the
+/// top-k compute kernels merge into the largest constituent's slot, launch
+/// and dispatch overheads shrink by the saved launches) and finally hides
+/// the overlap fraction of communication under the remaining computation.
+/// Keeping the kernel list's length and order identical to the baseline
+/// keeps the simulator's per-kernel noise draws aligned between baseline
+/// and scenario runs, so paired differences isolate the scenario's effect.
+sim::StepSchedule mutated_schedule(const sim::Workload& base,
+                                   const Scenario& sc);
+
+/// Ground-truth effect of a scenario, from paired re-simulation.
+struct GroundTruth {
+    double base_time = 0.0;      ///< median baseline epoch wall time
+    double scenario_time = 0.0;  ///< median mutated epoch wall time
+    double saving = 0.0;         ///< median of per-repetition paired savings
+};
+
+/// Simulates `repetitions` paired (baseline, scenario) epochs with shared
+/// per-repetition seeds and returns the medians. This is the oracle the
+/// advisor's predictions are verified against.
+GroundTruth simulate_saving(const sim::Workload& base, const Scenario& sc,
+                            int repetitions, std::uint64_t seed);
+
+}  // namespace extradeep::advisor

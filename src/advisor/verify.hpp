@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/report.hpp"
+
+namespace extradeep::advisor {
+
+/// Options of the what-if verification harness (the `extradeep-advisor`
+/// binary and the whatif_accuracy_gate ctest).
+struct VerifyOptions {
+    /// Quick suite: the default DEEP data-parallel/weak case only. The full
+    /// suite adds strong scaling and a JURECA (NCCL) case.
+    bool quick = false;
+    std::uint64_t seed = 1;
+    /// Threads for the model-fitting stage (0 = hardware concurrency).
+    int fit_threads = 1;
+    /// Paired ground-truth re-simulations per scenario; 0 = suite default.
+    int repetitions = 0;
+};
+
+/// Harness output: gateable metric records (reusing the eval gate schema)
+/// plus a human-readable results table.
+struct VerifyOutcome {
+    std::vector<eval::MetricRecord> records;
+    std::string table;
+};
+
+/// Runs the ground-truth verification loop: fit models per case, evaluate
+/// the default scenario portfolio at an interpolation point (x=8) and an
+/// extrapolation point (x=16), re-simulate every scenario against the
+/// mutated simulator, and emit per-scenario `saving_err_pct`, per-point
+/// `ranking_agreement` (concordance over scenario pairs whose predicted
+/// intervals do not overlap) and `interval_coverage` records.
+VerifyOutcome run_verify(const VerifyOptions& options);
+
+/// Serialises records as the BENCH_whatif.json document:
+///   {"schema": "extradeep-whatif/1", "git_rev": "...", "records": [...]}
+std::string whatif_bench_json(const std::vector<eval::MetricRecord>& records,
+                              const std::string& git_rev);
+
+}  // namespace extradeep::advisor

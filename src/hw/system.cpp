@@ -118,6 +118,17 @@ double allreduce_time(const SystemSpec& sys, double bytes, int ranks) {
     }
     if (ranks == 1) return 0.0;
     const int nodes = sys.nodes_for_ranks(ranks);
+    if (sys.collective_override != CollectiveOverride::Auto) {
+        // Pinned algorithm: flat inter-node closed form regardless of NCCL
+        // topology, so the swap is a pure alpha-beta substitution the
+        // advisor can mirror analytically.
+        const double flat =
+            sys.collective_override == CollectiveOverride::Ring
+                ? ring_allreduce_time(sys.inter_node, bytes, ranks)
+                : tree_allreduce_time(sys.inter_node, bytes, ranks);
+        return flat * contention_multiplier(sys, nodes) *
+               algorithm_regime_factor(nodes);
+    }
     if (sys.nccl_support && sys.gpus_per_node > 1) {
         if (nodes == 1) {
             // All ranks inside one node: pure NVLink ring.

@@ -33,6 +33,13 @@ struct NoiseSpec {
     double comm_sigma(int ranks) const;
 };
 
+/// Forces one collective algorithm for gradient allreduce instead of the
+/// library's automatic choice. `Auto` keeps the default selection (NCCL
+/// hierarchical or MPI min(ring, tree)); `Ring` and `Tree` pin the flat
+/// inter-node closed form, which is what the what-if advisor's
+/// collective-swap scenario toggles.
+enum class CollectiveOverride { Auto, Ring, Tree };
+
 /// Description of one evaluation system (paper Table 1) plus everything the
 /// simulator needs: GPU model, node topology, network links, NCCL support,
 /// per-rank CPU cores (the cost unit of Eq. 14), and the noise profile.
@@ -56,6 +63,9 @@ struct SystemSpec {
     /// model and is one reason extrapolated communication models degrade
     /// with distance, as in the paper's evaluation.
     double network_contention_factor = 0.0;
+    /// Pins the allreduce algorithm (what-if collective swap). Auto keeps
+    /// the library's own choice.
+    CollectiveOverride collective_override = CollectiveOverride::Auto;
     /// Host-side throughput for input preprocessing [samples/s per rank].
     double preprocess_rate_samples_per_s = 12000.0;
     /// Sustained file-system read bandwidth per rank [GB/s].

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "advisor/scenario.hpp"
+#include "advisor/whatif.hpp"
 #include "analysis/config_search.hpp"
 #include "analysis/cost.hpp"
 #include "analysis/speedup.hpp"
@@ -216,6 +218,69 @@ std::string do_search(const ServableModel& model,
     return os.str();
 }
 
+/// The advisor consumes the servable model's fields directly — the ModelSet
+/// mirror keeps the advisor library independent of the serve layer.
+advisor::ModelSet model_set_of(const ServableModel& model) {
+    advisor::ModelSet ms;
+    ms.dataset = model.dataset;
+    ms.system_name = model.system_name;
+    ms.strategy = model.strategy;
+    ms.scaling = model.scaling;
+    ms.batch_per_worker = model.batch_per_worker;
+    ms.model_parallel_degree = model.model_parallel_degree;
+    ms.epoch_time = model.epoch_time;
+    ms.phase_time = model.phase_time;
+    ms.step_math = model.step_math;
+    return ms;
+}
+
+std::string do_whatif(const ServableModel& model,
+                      const std::vector<std::string>& args) {
+    if (args.size() != 2) {
+        throw InvalidArgumentError(
+            "usage: whatif <model> <x> <transform>[+<transform>]...");
+    }
+    const double x = arg_positive(args[0], "rank count");
+    const advisor::Scenario sc = advisor::parse_scenario(args[1]);
+    const advisor::WhatIfResult r =
+        advisor::evaluate_whatif(model_set_of(model), x, sc);
+    std::ostringstream os;
+    os << "ok base=" << fmt::shortest(r.baseline)
+       << " time=" << fmt::shortest(r.scenario_time)
+       << " saving=" << fmt::shortest(r.saving)
+       << " lo=" << fmt::shortest(r.lower) << " hi=" << fmt::shortest(r.upper);
+    return os.str();
+}
+
+std::string do_advise(const ServableModel& model,
+                      const std::vector<std::string>& args) {
+    if (args.size() < 1 || args.size() > 2) {
+        throw InvalidArgumentError("usage: advise <model> <x> [top]");
+    }
+    const double x = arg_positive(args[0], "rank count");
+    std::size_t top = 0;
+    if (args.size() == 2) {
+        const double t = arg_positive(args[1], "top");
+        if (t != std::floor(t) || t > 64.0) {
+            throw InvalidArgumentError("top must be an integer in [1, 64]");
+        }
+        top = static_cast<std::size_t>(t);
+    }
+    const advisor::Advice advice =
+        advisor::advise(model_set_of(model), x, top);
+    std::ostringstream os;
+    os << "ok n=" << advice.ranked.size() << " skipped=" << advice.skipped;
+    for (std::size_t i = 0; i < advice.ranked.size(); ++i) {
+        const advisor::WhatIfResult& r = advice.ranked[i];
+        const std::size_t rank = i + 1;
+        os << " s" << rank << '=' << r.spec << " v" << rank << '='
+           << fmt::shortest(r.saving) << " lo" << rank << '='
+           << fmt::shortest(r.lower) << " hi" << rank << '='
+           << fmt::shortest(r.upper);
+    }
+    return os.str();
+}
+
 }  // namespace
 
 std::string_view query_kind_name(QueryKind kind) {
@@ -225,6 +290,8 @@ std::string_view query_kind_name(QueryKind kind) {
         case QueryKind::Efficiency: return "efficiency";
         case QueryKind::Cost: return "cost";
         case QueryKind::Search: return "search";
+        case QueryKind::Whatif: return "whatif";
+        case QueryKind::Advise: return "advise";
         case QueryKind::List: return "list";
         case QueryKind::Stats: return "stats";
         case QueryKind::Metrics: return "metrics";
@@ -357,7 +424,8 @@ std::string QueryEngine::dispatch(const std::string& request,
         return os.str();
     }
     if (cmd == "predict" || cmd == "speedup" || cmd == "efficiency" ||
-        cmd == "cost" || cmd == "search") {
+        cmd == "cost" || cmd == "search" || cmd == "whatif" ||
+        cmd == "advise") {
         // Attribute the request to its kind before anything can throw, so
         // errors (unknown model, bad arguments) are counted under the right
         // bucket rather than under `other`.
@@ -365,6 +433,8 @@ std::string QueryEngine::dispatch(const std::string& request,
                : cmd == "speedup"    ? QueryKind::Speedup
                : cmd == "efficiency" ? QueryKind::Efficiency
                : cmd == "cost"       ? QueryKind::Cost
+               : cmd == "whatif"     ? QueryKind::Whatif
+               : cmd == "advise"     ? QueryKind::Advise
                                      : QueryKind::Search;
         if (args.empty()) {
             throw InvalidArgumentError("usage: " + cmd + " <model> ...");
@@ -380,6 +450,10 @@ std::string QueryEngine::dispatch(const std::string& request,
                 return do_speedup(*model, rest, /*efficiency=*/true);
             case QueryKind::Cost:
                 return do_cost(*model, rest);
+            case QueryKind::Whatif:
+                return do_whatif(*model, rest);
+            case QueryKind::Advise:
+                return do_advise(*model, rest);
             default:
                 return do_search(*model, rest);
         }

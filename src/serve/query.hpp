@@ -20,6 +20,8 @@ enum class QueryKind {
     Efficiency,
     Cost,
     Search,
+    Whatif,
+    Advise,
     List,
     Stats,
     Metrics,
@@ -28,7 +30,7 @@ enum class QueryKind {
     Other,
 };
 
-inline constexpr int kQueryKindCount = 11;
+inline constexpr int kQueryKindCount = 13;
 
 std::string_view query_kind_name(QueryKind kind);
 
@@ -63,6 +65,10 @@ std::string unescape_lines(const std::string& text);
 ///   efficiency <model> <x1> <x2> [<x> ...]          (Eq. 13, vs first x)
 ///   cost       <model> <x> [rho]                    (Eq. 14)
 ///   search     <model> <max_time_s> <max_cost> <x1> [<x> ...]   (Sec. 3.3)
+///   whatif     <model> <x> <transform>[+<transform>]...  (what-if scenario,
+///              e.g. `whatif m 16 interconnect:2+overlap:0.5`; see
+///              advisor::parse_scenario for the transform grammar)
+///   advise     <model> <x> [top]       (ranked what-if portfolio, top N)
 ///
 /// Responses are a single line: `ok <payload>` or `err <reason>`. All
 /// numbers are rendered with fmt::shortest, so answers are deterministic

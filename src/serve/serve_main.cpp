@@ -12,6 +12,10 @@
 //             (closed- or open-loop) against a daemon, reporting qps and
 //             latency quantiles; drives the BENCH_serve.json regression gate
 //
+// REQUEST lines follow the grammar in serve/query.hpp: predict, speedup,
+// efficiency, cost, search, whatif (scenario evaluation), advise (ranked
+// what-if portfolio), list, stats, metrics, ping, reload.
+//
 // Usage:
 //   extradeep-serve fit --out model.edpm [--name NAME] [--dataset D]
 //                       [--system DEEP|JURECA] [--strategy data|tensor|pipeline]
@@ -61,7 +65,10 @@ void usage(const char* argv0) {
                  "               [--mode closed|open|both] [--threads N] "
                  "[--timeout MS]\n"
                  "               [--out FILE] [--thresholds FILE] "
-                 "[REQUEST...]\n",
+                 "[REQUEST...]\n"
+                 "REQUEST verbs: predict speedup efficiency cost search "
+                 "whatif advise\n"
+                 "               list stats metrics ping reload shutdown\n",
                  argv0, argv0, argv0, argv0, argv0);
 }
 

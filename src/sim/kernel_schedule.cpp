@@ -263,14 +263,7 @@ void expand_layer(ScheduleAccum& acc, const ExpandContext& ctx,
     }
 }
 
-/// Prices one communication operation on the target system and returns
-/// (name, category, on_gpu, seconds).
-struct PricedComm {
-    std::string name;
-    KernelCategory category = KernelCategory::Mpi;
-    bool on_gpu = false;
-    double time = 0.0;
-};
+}  // namespace
 
 PricedComm price_comm(const Workload& w, const parallel::CommOp& op) {
     const hw::SystemSpec& sys = w.system;
@@ -344,8 +337,6 @@ PricedComm price_comm(const Workload& w, const parallel::CommOp& op) {
     }
     return out;
 }
-
-}  // namespace
 
 StepSchedule build_step_schedule(const Workload& workload) {
     workload.parallel.validate();

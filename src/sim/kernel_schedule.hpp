@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/comm_plan.hpp"
 #include "sim/workload.hpp"
 #include "trace/kernel.hpp"
 
@@ -52,6 +53,21 @@ struct StepSchedule {
     /// communication / memory), for calibration and tests.
     double train_phase_time(trace::Phase phase) const;
 };
+
+/// One communication operation priced on the target system: the kernel name
+/// the trace would show, its category, whether it launches on the GPU, and
+/// its deterministic per-visit duration. Exposed so the what-if advisor can
+/// reprice a communication plan under a mutated system without rebuilding
+/// the whole schedule.
+struct PricedComm {
+    std::string name;
+    trace::KernelCategory category = trace::KernelCategory::Mpi;
+    bool on_gpu = false;
+    double time = 0.0;
+};
+
+/// Prices one communication operation of `w`'s plan on `w.system`.
+PricedComm price_comm(const Workload& w, const parallel::CommOp& op);
 
 /// Expands the workload's network, parallel strategy, and communication plan
 /// into the per-step kernel schedule, pricing GPU kernels with the roofline

@@ -38,6 +38,11 @@ TrainingSimulator::TrainingSimulator(Workload workload)
       schedule_(build_step_schedule(workload_)),
       step_math_(workload_.step_math()) {}
 
+TrainingSimulator::TrainingSimulator(Workload workload, StepSchedule schedule)
+    : workload_(std::move(workload)),
+      schedule_(std::move(schedule)),
+      step_math_(workload_.step_math()) {}
+
 trace::RankTrace TrainingSimulator::trace_rank(int rank,
                                                const TraceOptions& opts) const {
     if (rank < 0 || rank >= workload_.parallel.total_ranks) {

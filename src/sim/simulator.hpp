@@ -56,6 +56,12 @@ class TrainingSimulator {
 public:
     explicit TrainingSimulator(Workload workload);
 
+    /// Simulates `workload` but executes `schedule` instead of the one
+    /// build_step_schedule would derive. The what-if ground-truth loop uses
+    /// this to re-simulate a scenario-mutated schedule under the *same*
+    /// noise model and rank factors as the baseline workload.
+    TrainingSimulator(Workload workload, StepSchedule schedule);
+
     const Workload& workload() const { return workload_; }
     const StepSchedule& schedule() const { return schedule_; }
     const parallel::StepMath& step_math() const { return step_math_; }

@@ -352,6 +352,122 @@ TEST(CostProperty, NonNegativeAndLinearInRho) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Boundary regressions: Eqs. 11-14 pinned at the interpolation/extrapolation
+// boundary (the largest modeling configuration). The what-if advisor leans on
+// model evaluations right at and beyond this point, so the equations must be
+// continuous across it and the fitted prediction intervals must not shrink
+// once the model leaves its supported range.
+
+namespace {
+
+const std::vector<double>& boundary_ranks() {
+    static const std::vector<double> ranks = {2, 4, 8, 16, 32};
+    return ranks;
+}
+
+/// A noisy weak-scaling sweep over the modeling ranks, and the PMNF model
+/// fitted through it. The ideal shape (c + a*x^1.25) lies inside the PMNF
+/// search space, so the fit stays positive and well-behaved across the whole
+/// range. The largest modeling x (32) is the boundary.
+modeling::PerformanceModel boundary_model() {
+    extradeep::Rng rng(17);
+    std::vector<double> runtimes;
+    for (const double x : boundary_ranks()) {
+        runtimes.push_back((50.0 + 2.0 * std::pow(x, 1.25)) *
+                           rng.lognormal_factor(0.05));
+    }
+    return modeling::ModelGenerator().fit(boundary_ranks(), runtimes);
+}
+
+}  // namespace
+
+TEST(BoundaryRegression, EquationsAreContinuousAcrossTheModelingBoundary) {
+    const modeling::PerformanceModel m = boundary_model();
+    const double boundary = boundary_ranks().back();
+    const double eps = 1e-6;
+
+    // The runtime model itself must not jump at the boundary (guards against
+    // anyone introducing a piecewise interpolation/extrapolation switch).
+    const double inside = m.evaluate(boundary - eps);
+    const double outside = m.evaluate(boundary + eps);
+    EXPECT_NEAR(inside, outside, 1e-4 * (1.0 + std::fabs(inside)));
+
+    // Eqs. 11, 13, 14 derived from model evaluations just inside vs just
+    // outside the boundary agree to the same order.
+    const std::vector<double> ranks_in = {2.0, boundary - eps};
+    const std::vector<double> ranks_out = {2.0, boundary + eps};
+    const std::vector<double> t_in = {m.evaluate(2.0), inside};
+    const std::vector<double> t_out = {m.evaluate(2.0), outside};
+    EXPECT_NEAR(speedups(t_in)[1], speedups(t_out)[1], 1e-4);
+    EXPECT_NEAR(efficiencies(ranks_in, t_in)[1],
+                efficiencies(ranks_out, t_out)[1], 1e-4);
+    EXPECT_NEAR(classic_efficiencies(ranks_in, t_in)[1],
+                classic_efficiencies(ranks_out, t_out)[1], 1e-4);
+    EXPECT_NEAR(training_cost_core_hours(inside, boundary - eps, 8.0),
+                training_cost_core_hours(outside, boundary + eps, 8.0), 1e-4);
+}
+
+TEST(BoundaryRegression, IntervalHalfWidthDoesNotShrinkBeyondTheBoundary) {
+    const modeling::PerformanceModel m = boundary_model();
+    const double boundary = boundary_ranks().back();
+
+    // At the boundary itself the interval is a genuine band around the
+    // prediction (the fit carries residual information).
+    const auto at = m.predict_interval(boundary);
+    EXPECT_LT(at.lower, at.prediction);
+    EXPECT_GT(at.upper, at.prediction);
+
+    // Extrapolating past the boundary can only widen the band: the advisor's
+    // claim "these two options are distinguishable at x" would otherwise get
+    // *more* confident the further it leaves the measured range.
+    double prev_width = 0.0;
+    for (const double x : {boundary, 1.5 * boundary, 2.0 * boundary,
+                           4.0 * boundary, 8.0 * boundary}) {
+        const auto pi = m.predict_interval(x);
+        const double width = pi.upper - pi.lower;
+        EXPECT_GE(width, prev_width * (1.0 - 1e-9)) << "x=" << x;
+        EXPECT_LE(pi.lower, pi.prediction);
+        EXPECT_GE(pi.upper, pi.prediction);
+        prev_width = width;
+    }
+
+    // And an interpolation point is never wider than deep extrapolation.
+    const double mid_width = [&] {
+        const auto pi = m.predict_interval(0.5 * boundary);
+        return pi.upper - pi.lower;
+    }();
+    const double far_width = [&] {
+        const auto pi = m.predict_interval(8.0 * boundary);
+        return pi.upper - pi.lower;
+    }();
+    EXPECT_LE(mid_width, far_width);
+}
+
+TEST(BoundaryRegression, ExactValuesPinnedAtTheBoundaryPoint) {
+    // Noise-free T = 640/x + 10 evaluated exactly at the boundary config:
+    // every derived quantity has a closed form. A change in any of Eqs. 11-14
+    // at the edge of the modeling range trips these pins.
+    std::vector<double> runtimes;
+    for (const double x : boundary_ranks()) {
+        runtimes.push_back(640.0 / x + 10.0);
+    }
+    // T(2) = 330, T(32) = 30.
+    const auto d = speedups(runtimes);
+    EXPECT_NEAR(d.back(), 100.0 * (1.0 - 30.0 / 330.0), 1e-9);
+    const auto e = efficiencies(boundary_ranks(), runtimes);
+    // Eq. 13: actual speedup / theoretical speedup; theoretical at x=32 with
+    // baseline 2 is 100 * (32 - 2) / 2 = 1500 %.
+    EXPECT_NEAR(e.back(), 100.0 * d.back() / 1500.0, 1e-9);
+    const auto c = classic_efficiencies(boundary_ranks(), runtimes);
+    // Classic: (330 * 2) / (30 * 32) = 0.6875.
+    EXPECT_NEAR(c.back(), 68.75, 1e-9);
+    // Eq. 14 at the boundary: 30 s on 32 ranks with 8 cores each.
+    EXPECT_NEAR(training_cost_core_hours(runtimes.back(),
+                                         boundary_ranks().back(), 8.0),
+                30.0 * 32.0 * 8.0 / 3600.0, 1e-12);
+}
+
 TEST(AnalysisDegenerate, SingleConfiguration) {
     // One measurement point is a valid (if useless) sweep: baseline values.
     EXPECT_EQ(speedups(std::vector<double>{10.0}),

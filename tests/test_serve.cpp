@@ -85,6 +85,11 @@ std::vector<std::string> all_kind_requests(const std::string& model) {
         "cost " + model + " 16 4",
         "search " + model + " 1e6 1e6 2 4 8 16 32",
         "search " + model + " 0.001 1e6 2 4 8 16",
+        "whatif " + model + " 16 interconnect:2+overlap:0.5",
+        "whatif " + model + " 8 collective:tree",
+        "whatif " + model + " 16 fuse:4",
+        "advise " + model + " 16 3",
+        "advise " + model + " 16",
     };
 }
 
@@ -330,6 +335,37 @@ TEST(QueryEngine, ResponsesAreWellFormed) {
     EXPECT_EQ(engine->execute("search cifar10-weak 1e6 1e6 2 4 8")
                   .substr(0, 8),
               "ok best=");
+    EXPECT_EQ(engine->execute("whatif cifar10-weak 16 interconnect:2")
+                  .substr(0, 8),
+              "ok base=");
+    EXPECT_EQ(engine->execute("advise cifar10-weak 16 3").substr(0, 5),
+              "ok n=");
+}
+
+TEST(QueryEngine, WhatifIdentityIsBitExactAndErrorsNameTheScenario) {
+    auto engine = engine_over(test_model());
+    // A zero-magnitude scenario reports a saving of exactly 0 and a scenario
+    // time byte-identical to the baseline (shortest-round-trip formatting of
+    // equal doubles is equal text).
+    const std::string response =
+        engine->execute("whatif cifar10-weak 16 identity");
+    EXPECT_NE(response.find(" saving=0 "), std::string::npos) << response;
+    const std::size_t base_pos = response.find("base=");
+    const std::size_t time_pos = response.find(" time=");
+    ASSERT_NE(base_pos, std::string::npos);
+    ASSERT_NE(time_pos, std::string::npos);
+    const std::string base = response.substr(
+        base_pos + 5, time_pos - (base_pos + 5));
+    EXPECT_NE(response.find(" time=" + base + " "), std::string::npos)
+        << response;
+    // Malformed scenarios map to err lines that name the offending piece.
+    const std::string bad = engine->execute("whatif cifar10-weak 16 bogus:2");
+    EXPECT_EQ(bad.substr(0, 4), "err ");
+    EXPECT_NE(bad.find("bogus"), std::string::npos) << bad;
+    const std::string conflict = engine->execute(
+        "whatif cifar10-weak 16 collective:ring+collective:tree");
+    EXPECT_EQ(conflict.substr(0, 4), "err ");
+    EXPECT_NE(conflict.find("collective"), std::string::npos) << conflict;
 }
 
 TEST(QueryEngine, ErrorsAreResponsesNotExceptions) {
@@ -345,6 +381,18 @@ TEST(QueryEngine, ErrorsAreResponsesNotExceptions) {
              "speedup cifar10-weak 2",
              "cost cifar10-weak 16 0",
              "search cifar10-weak 1e6",
+             "whatif cifar10-weak 16",
+             "whatif cifar10-weak 16 bogus:2",
+             "whatif cifar10-weak 16 interconnect:0",
+             "whatif cifar10-weak 16 overlap:1.5",
+             "whatif cifar10-weak 16 collective:ring+collective:tree",
+             "whatif cifar10-weak 16 interconnect:2 extra",
+             "whatif cifar10-weak 1 interconnect:2",
+             "whatif nosuch 16 interconnect:2",
+             "advise cifar10-weak 16 0",
+             "advise cifar10-weak 16 999",
+             "advise cifar10-weak 16 2.5",
+             "advise nosuch 16",
          }) {
         std::string response;
         EXPECT_NO_THROW(response = engine->execute(bad)) << bad;

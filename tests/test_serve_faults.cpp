@@ -13,9 +13,13 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "fault_injection.hpp"
+#include "serve/query.hpp"
+#include "serve/registry.hpp"
 #include "serve/serialize.hpp"
 
 using namespace extradeep;
@@ -128,6 +132,32 @@ TEST(EdpmFaults, TolerantSurvivesDegenerateInputs) {
         serve::EdpmReadResult result;
         ASSERT_NO_THROW(result = serve::read_edpm(is, tolerant));
         EXPECT_FALSE(result.ok());
+    }
+}
+
+TEST(ScenarioFaults, MutatedSpecsAlwaysGetAProtocolResponse) {
+    // Fault injection on what-if scenario specs: run the same seeded mutator
+    // library over a well-formed spec and push every mutant through the query
+    // engine. Whatever the bytes, the engine must answer with a protocol line
+    // ("ok ..." or "err ...") and never throw or crash.
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add(
+        std::make_shared<const serve::ServableModel>(original_model()));
+    serve::QueryEngine engine(std::move(registry));
+
+    const std::string clean_spec =
+        "interconnect:2+latency:4+overlap:0.5+collective:ring+fuse:4";
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        Rng rng(seed);
+        const std::string mutated =
+            edpfuzz::apply_random_mutations(clean_spec, rng, 2);
+        SCOPED_TRACE("seed " + std::to_string(seed) + " spec " + mutated);
+        std::string response;
+        ASSERT_NO_THROW(
+            response = engine.execute("whatif fuzz-target 8 " + mutated));
+        EXPECT_TRUE(response.rfind("ok ", 0) == 0 ||
+                    response.rfind("err ", 0) == 0)
+            << response;
     }
 }
 
