@@ -1,18 +1,13 @@
 #include "aggregation/aggregate.hpp"
 
 #include <algorithm>
-#include <array>
-#include <map>
 
+#include "aggregation/stream.hpp"
 #include "common/error.hpp"
-#include "common/stats.hpp"
 #include "obs/trace.hpp"
 #include "trace/timeline.hpp"
 
 namespace extradeep::aggregation {
-
-using trace::KernelCategory;
-using trace::StepKind;
 
 const KernelStats* ConfigurationData::find_kernel(
     const std::string& name) const {
@@ -32,92 +27,15 @@ double ConfigurationData::phase_metric(trace::Phase phase, Metric metric,
     return train ? phase_train[p][m] : phase_val[p][m];
 }
 
-namespace {
-
-/// Six aggregated values per kernel: {train, val} x {time, visits, bytes}.
-using Value6 = std::array<double, 6>;
-
-int value_index(bool train, int metric) { return (train ? 0 : 3) + metric; }
-
-/// Fig. 2 steps (1)-(2) for one rank: per-step sums followed by the median
-/// over steps. Returns per-kernel Value6 medians.
-std::map<std::string, std::pair<KernelCategory, Value6>> aggregate_rank(
-    const trace::RankTrace& rank_trace, int discard_warmup_epochs) {
-    const auto windows = trace::segment_steps(rank_trace);
-
-    // Assign each (epoch, step) a dense slot index per step kind; async-gap
-    // windows share the slot of their preceding step.
-    std::map<std::pair<int, int>, int> slots[2];
-    for (const auto& w : windows) {
-        if (w.epoch < discard_warmup_epochs || w.async_gap) {
-            continue;
-        }
-        auto& m = slots[w.kind == StepKind::Train ? 0 : 1];
-        m.emplace(std::make_pair(w.epoch, w.step),
-                  static_cast<int>(m.size()));
-    }
-    const std::size_t n_slots[2] = {slots[0].size(), slots[1].size()};
-
-    // Per-step sums v_nkr (Eq. 1), one slot vector per kernel and kind.
-    struct Sums {
-        KernelCategory category{};
-        std::vector<std::array<double, 3>> per_slot[2];
-    };
-    std::map<std::string, Sums> sums;
-    for (const auto& w : windows) {
-        if (w.epoch < discard_warmup_epochs) {
-            continue;
-        }
-        const int kind = w.kind == StepKind::Train ? 0 : 1;
-        const auto slot_it = slots[kind].find({w.epoch, w.step});
-        if (slot_it == slots[kind].end()) {
-            continue;  // gap after a discarded step
-        }
-        const int slot = slot_it->second;
-        for (const std::size_t idx : w.event_indices) {
-            const trace::TraceEvent& e = rank_trace.events[idx];
-            Sums& s = sums[e.name];
-            s.category = e.category;
-            auto& vec = s.per_slot[kind];
-            if (vec.empty()) {
-                vec.assign(n_slots[kind], {0.0, 0.0, 0.0});
-            }
-            vec[slot][0] += e.duration;
-            vec[slot][1] += static_cast<double>(e.visits);
-            vec[slot][2] += e.bytes;
-        }
-    }
-
-    // Median over steps per kind and metric.
-    std::map<std::string, std::pair<KernelCategory, Value6>> out;
-    std::vector<double> column;
-    for (const auto& [name, s] : sums) {
-        Value6 v{};
-        for (int kind = 0; kind < 2; ++kind) {
-            if (s.per_slot[kind].empty() || n_slots[kind] == 0) {
-                continue;
-            }
-            for (int metric = 0; metric < 3; ++metric) {
-                column.clear();
-                for (const auto& slot : s.per_slot[kind]) {
-                    column.push_back(slot[metric]);
-                }
-                v[value_index(kind == 0, metric)] = stats::median(column);
-            }
-        }
-        out.emplace(name, std::make_pair(s.category, v));
-    }
-    return out;
-}
-
-}  // namespace
-
 ConfigurationData aggregate_runs(std::span<const profiling::ProfiledRun> runs,
                                  const AggregationOptions& options) {
     const obs::Span span{"aggregate.runs"};
     if (runs.empty()) {
         throw InvalidArgumentError("aggregate_runs: no runs");
     }
+    // Precondition scan before any per-rank work, so a malformed later run
+    // surfaces as the precondition error rather than a mid-aggregation
+    // ParseError from an earlier run's marks.
     for (const auto& run : runs) {
         if (run.params != runs.front().params) {
             throw InvalidArgumentError(
@@ -128,100 +46,18 @@ ConfigurationData aggregate_runs(std::span<const profiling::ProfiledRun> runs,
         }
     }
 
-    struct Rec {
-        KernelCategory category{};
-        std::vector<Value6> per_rep;  ///< indexed by repetition, zero padded
-        int ranks_seen = 0;
-        int reps_seen = 0;
-    };
-    std::map<std::string, Rec> agg;
-    const std::size_t n_reps = runs.size();
-
-    for (std::size_t rep = 0; rep < n_reps; ++rep) {
-        const auto& run = runs[rep];
-        const std::size_t n_ranks = run.ranks.size();
-
-        // Fig. 2 steps (1)-(2) per rank, collected per kernel.
-        struct RepRec {
-            KernelCategory category{};
-            std::vector<Value6> per_rank;  ///< zero padded to n_ranks later
-            int ranks_present = 0;
-        };
-        std::map<std::string, RepRec> rep_map;
+    // Fold through the incremental cores (aggregation/stream.hpp) — the same
+    // code the streaming ingestion path runs, so both paths are bit-identical
+    // by construction.
+    ConfigAggregator agg;
+    for (const auto& run : runs) {
+        RunAggregator run_agg;
         for (const auto& rank_trace : run.ranks) {
-            auto rank_vals =
-                aggregate_rank(rank_trace, options.discard_warmup_epochs);
-            for (auto& [name, cat_val] : rank_vals) {
-                RepRec& r = rep_map[name];
-                r.category = cat_val.first;
-                r.per_rank.push_back(cat_val.second);
-                ++r.ranks_present;
-            }
+            run_agg.add_rank(rank_trace, options.discard_warmup_epochs);
         }
-
-        // Median over ranks -> Ṽ_r (absent ranks count as zero).
-        std::vector<double> column;
-        for (auto& [name, r] : rep_map) {
-            r.per_rank.resize(n_ranks, Value6{});
-            Value6 v{};
-            for (int i = 0; i < 6; ++i) {
-                column.clear();
-                for (const auto& pv : r.per_rank) {
-                    column.push_back(pv[i]);
-                }
-                v[i] = stats::median(column);
-            }
-            Rec& rec = agg[name];
-            rec.category = r.category;
-            rec.per_rep.resize(n_reps, Value6{});
-            rec.per_rep[rep] = v;
-            rec.ranks_seen = std::max(rec.ranks_seen, r.ranks_present);
-            ++rec.reps_seen;
-        }
+        agg.add_run(run.params, run_agg.finish());
     }
-
-    // Median over repetitions -> Ṽ (Fig. 2 step (3)).
-    ConfigurationData out;
-    out.params = runs.front().params;
-    out.repetitions = static_cast<int>(n_reps);
-    out.kernels.reserve(agg.size());
-    std::vector<double> column;
-    for (auto& [name, rec] : agg) {
-        rec.per_rep.resize(n_reps, Value6{});
-        KernelStats ks;
-        ks.name = name;
-        ks.category = rec.category;
-        ks.ranks_seen = rec.ranks_seen;
-        ks.reps_seen = rec.reps_seen;
-        for (int i = 0; i < 6; ++i) {
-            column.clear();
-            for (const auto& pv : rec.per_rep) {
-                column.push_back(pv[i]);
-            }
-            const double med = stats::median(column);
-            if (i < 3) {
-                ks.train[i] = med;
-            } else {
-                ks.val[i - 3] = med;
-            }
-        }
-        out.kernels.push_back(std::move(ks));
-    }
-    // std::map iteration is already name sorted; keep the invariant explicit.
-    std::sort(out.kernels.begin(), out.kernels.end(),
-              [](const KernelStats& a, const KernelStats& b) {
-                  return a.name < b.name;
-              });
-
-    // Phase totals for application models (no kernel filtering here).
-    for (const auto& k : out.kernels) {
-        const int p = static_cast<int>(trace::phase_of(k.category));
-        for (int m = 0; m < kMetricCount; ++m) {
-            out.phase_train[p][m] += k.train[m];
-            out.phase_val[p][m] += k.val[m];
-        }
-    }
-    return out;
+    return agg.finish();
 }
 
 }  // namespace extradeep::aggregation

@@ -1,0 +1,193 @@
+#include "aggregation/stream.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace extradeep::aggregation {
+
+using trace::KernelCategory;
+using trace::StepKind;
+
+std::map<std::string, RankKernelValues> aggregate_rank_trace(
+    const trace::RankTrace& rank_trace, int discard_warmup_epochs) {
+    const auto windows = trace::segment_steps(rank_trace);
+
+    // Assign each (epoch, step) a dense slot index per step kind; async-gap
+    // windows share the slot of their preceding step.
+    std::map<std::pair<int, int>, int> slots[2];
+    for (const auto& w : windows) {
+        if (w.epoch < discard_warmup_epochs || w.async_gap) {
+            continue;
+        }
+        auto& m = slots[w.kind == StepKind::Train ? 0 : 1];
+        m.emplace(std::make_pair(w.epoch, w.step),
+                  static_cast<int>(m.size()));
+    }
+    const std::size_t n_slots[2] = {slots[0].size(), slots[1].size()};
+
+    // Per-step sums v_nkr (Eq. 1), one slot vector per kernel and kind.
+    struct Sums {
+        KernelCategory category{};
+        std::vector<std::array<double, 3>> per_slot[2];
+    };
+    std::map<std::string, Sums> sums;
+    for (const auto& w : windows) {
+        if (w.epoch < discard_warmup_epochs) {
+            continue;
+        }
+        const int kind = w.kind == StepKind::Train ? 0 : 1;
+        const auto slot_it = slots[kind].find({w.epoch, w.step});
+        if (slot_it == slots[kind].end()) {
+            continue;  // gap after a discarded step
+        }
+        const int slot = slot_it->second;
+        for (const std::size_t idx : w.event_indices) {
+            const trace::TraceEvent& e = rank_trace.events[idx];
+            Sums& s = sums[e.name];
+            s.category = e.category;
+            auto& vec = s.per_slot[kind];
+            if (vec.empty()) {
+                vec.assign(n_slots[kind], {0.0, 0.0, 0.0});
+            }
+            vec[slot][0] += e.duration;
+            vec[slot][1] += static_cast<double>(e.visits);
+            vec[slot][2] += e.bytes;
+        }
+    }
+
+    // Median over steps per kind and metric.
+    std::map<std::string, RankKernelValues> out;
+    std::vector<double> column;
+    for (const auto& [name, s] : sums) {
+        KernelValues v{};
+        for (int kind = 0; kind < 2; ++kind) {
+            if (s.per_slot[kind].empty() || n_slots[kind] == 0) {
+                continue;
+            }
+            for (int metric = 0; metric < 3; ++metric) {
+                column.clear();
+                for (const auto& slot : s.per_slot[kind]) {
+                    column.push_back(slot[metric]);
+                }
+                v[kernel_value_index(kind == 0, metric)] =
+                    stats::median(column);
+            }
+        }
+        out.emplace(name, RankKernelValues{s.category, v});
+    }
+    return out;
+}
+
+void RunAggregator::add_rank(const trace::RankTrace& rank_trace,
+                             int discard_warmup_epochs) {
+    add_rank_values(aggregate_rank_trace(rank_trace, discard_warmup_epochs));
+}
+
+void RunAggregator::add_rank_values(
+    const std::map<std::string, RankKernelValues>& rank_values) {
+    ++n_ranks_;
+    for (const auto& [name, rv] : rank_values) {
+        Slot& s = kernels_[name];
+        s.category = rv.category;
+        s.per_rank.push_back(rv.values);
+        ++s.ranks_present;
+    }
+}
+
+RunAggregate RunAggregator::finish() {
+    // Median over ranks -> Ṽ_r (absent ranks count as zero).
+    RunAggregate out;
+    out.n_ranks = n_ranks_;
+    std::vector<double> column;
+    for (auto& [name, s] : kernels_) {
+        s.per_rank.resize(n_ranks_, KernelValues{});
+        KernelValues v{};
+        for (int i = 0; i < 6; ++i) {
+            column.clear();
+            for (const auto& pv : s.per_rank) {
+                column.push_back(pv[i]);
+            }
+            v[i] = stats::median(column);
+        }
+        out.kernels.emplace(
+            name, RunKernelAggregate{s.category, v, s.ranks_present});
+    }
+    kernels_.clear();
+    return out;
+}
+
+void ConfigAggregator::add_run(const std::map<std::string, double>& params,
+                               RunAggregate run) {
+    if (n_reps_ == 0) {
+        params_ = params;
+    } else if (params != params_) {
+        throw InvalidArgumentError(
+            "aggregate_runs: runs with mismatching measurement points");
+    }
+    if (run.n_ranks == 0) {
+        throw InvalidArgumentError("aggregate_runs: run without ranks");
+    }
+    const std::size_t rep = n_reps_++;
+    for (auto& [name, k] : run.kernels) {
+        Rec& rec = kernels_[name];
+        rec.category = k.category;
+        rec.per_rep.resize(n_reps_, KernelValues{});
+        rec.per_rep[rep] = k.values;
+        rec.ranks_seen = std::max(rec.ranks_seen, k.ranks_present);
+        ++rec.reps_seen;
+    }
+}
+
+ConfigurationData ConfigAggregator::finish() {
+    if (n_reps_ == 0) {
+        throw InvalidArgumentError("aggregate_runs: no runs");
+    }
+    // Median over repetitions -> Ṽ (Fig. 2 step (3)).
+    ConfigurationData out;
+    out.params = params_;
+    out.repetitions = static_cast<int>(n_reps_);
+    out.kernels.reserve(kernels_.size());
+    std::vector<double> column;
+    for (auto& [name, rec] : kernels_) {
+        rec.per_rep.resize(n_reps_, KernelValues{});
+        KernelStats ks;
+        ks.name = name;
+        ks.category = rec.category;
+        ks.ranks_seen = rec.ranks_seen;
+        ks.reps_seen = rec.reps_seen;
+        for (int i = 0; i < 6; ++i) {
+            column.clear();
+            for (const auto& pv : rec.per_rep) {
+                column.push_back(pv[i]);
+            }
+            const double med = stats::median(column);
+            if (i < 3) {
+                ks.train[i] = med;
+            } else {
+                ks.val[i - 3] = med;
+            }
+        }
+        out.kernels.push_back(std::move(ks));
+    }
+    // std::map iteration is already name sorted; keep the invariant explicit.
+    std::sort(out.kernels.begin(), out.kernels.end(),
+              [](const KernelStats& a, const KernelStats& b) {
+                  return a.name < b.name;
+              });
+
+    // Phase totals for application models (no kernel filtering here).
+    for (const auto& k : out.kernels) {
+        const int p = static_cast<int>(trace::phase_of(k.category));
+        for (int m = 0; m < kMetricCount; ++m) {
+            out.phase_train[p][m] += k.train[m];
+            out.phase_val[p][m] += k.val[m];
+        }
+    }
+    kernels_.clear();
+    return out;
+}
+
+}  // namespace extradeep::aggregation

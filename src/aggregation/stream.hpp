@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aggregation/aggregate.hpp"
+#include "trace/timeline.hpp"
+
+namespace extradeep::aggregation {
+
+/// Incremental aggregation cores shared by aggregate_runs (materialising)
+/// and the streaming ingestion path (src/extradeep/ingest). Both paths run
+/// the exact same arithmetic in the exact same order — medians over
+/// identical columns, map-ordered kernel iteration — so their outputs are
+/// bit-identical by construction (asserted by tests/test_ingest_stream.cpp).
+///
+/// Memory behaviour: a RunAggregator holds O(kernels × ranks) reduced
+/// values and a ConfigAggregator O(kernels × repetitions); neither retains
+/// events, marks, or steps, which is what makes out-of-core ingestion's
+/// footprint independent of trace size (DESIGN.md §13).
+
+/// Six aggregated values per kernel: {train, val} × {time, visits, bytes}.
+using KernelValues = std::array<double, 6>;
+
+/// Index into KernelValues for (train?, metric).
+inline int kernel_value_index(bool train, int metric) {
+    return (train ? 0 : 3) + metric;
+}
+
+/// Per-kernel result of reducing one rank (Fig. 2 steps (1)-(2)).
+struct RankKernelValues {
+    trace::KernelCategory category{};
+    KernelValues values{};
+};
+
+/// Fig. 2 steps (1)-(2) for one rank: per-step sums followed by the median
+/// over steps. Throws ParseError (via segment_steps) if the rank's marks
+/// are not properly nested/ordered.
+std::map<std::string, RankKernelValues> aggregate_rank_trace(
+    const trace::RankTrace& rank_trace, int discard_warmup_epochs);
+
+/// Per-kernel result of reducing one run (median over ranks).
+struct RunKernelAggregate {
+    trace::KernelCategory category{};
+    KernelValues values{};
+    int ranks_present = 0;  ///< ranks on which the kernel appeared
+};
+
+/// Fully reduced single run: one KernelValues per kernel. This is all the
+/// streaming ingest retains per repetition.
+struct RunAggregate {
+    std::map<std::string, RunKernelAggregate> kernels;
+    std::size_t n_ranks = 0;
+};
+
+/// Folds one run's ranks as they arrive (Fig. 2 step (2): median over
+/// ranks, absent ranks counting as zero). finish() consumes the state.
+class RunAggregator {
+public:
+    /// Reduces `rank` (Fig. 2 (1)-(2)) and folds it in.
+    void add_rank(const trace::RankTrace& rank_trace,
+                  int discard_warmup_epochs);
+
+    /// Folds in an already-reduced rank (for callers that computed
+    /// aggregate_rank_trace themselves, e.g. to bound buffering).
+    void add_rank_values(
+        const std::map<std::string, RankKernelValues>& rank_values);
+
+    std::size_t ranks() const { return n_ranks_; }
+
+    /// Median over ranks. Call once; the aggregator is consumed.
+    RunAggregate finish();
+
+private:
+    struct Slot {
+        trace::KernelCategory category{};
+        std::vector<KernelValues> per_rank;  ///< zero padded in finish()
+        int ranks_present = 0;
+    };
+    std::map<std::string, Slot> kernels_;
+    std::size_t n_ranks_ = 0;
+};
+
+/// Folds one configuration's repetitions as they arrive (Fig. 2 step (3):
+/// median over repetitions) and assembles the final ConfigurationData.
+/// Throws InvalidArgumentError with aggregate_runs' exact messages on
+/// mismatching params / rank-less runs / zero runs, so both aggregation
+/// paths fail identically.
+class ConfigAggregator {
+public:
+    void add_run(const std::map<std::string, double>& params,
+                 RunAggregate run);
+
+    std::size_t runs() const { return n_reps_; }
+
+    /// Median over repetitions, kernel sort, phase totals. Call once.
+    ConfigurationData finish();
+
+private:
+    struct Rec {
+        trace::KernelCategory category{};
+        std::vector<KernelValues> per_rep;  ///< zero padded in finish()
+        int ranks_seen = 0;
+        int reps_seen = 0;
+    };
+    std::map<std::string, Rec> kernels_;
+    std::map<std::string, double> params_;
+    std::size_t n_reps_ = 0;
+};
+
+}  // namespace extradeep::aggregation

@@ -140,6 +140,26 @@ ExperimentVerdict validate_experiment(
     std::span<const std::vector<profiling::ProfiledRun>> configs,
     const ExperimentValidationOptions& options) {
     const obs::Span span{"validate.experiment"};
+    // Per-run invariants, reduced to facts; the cross-run stage is shared
+    // with the streaming ingestion path (which builds the facts itself).
+    std::vector<std::vector<ValidatedRunFacts>> facts(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        facts[c].reserve(configs[c].size());
+        for (const auto& run : configs[c]) {
+            ValidatedRunFacts f;
+            f.params = run.params;
+            f.n_ranks = run.ranks.size();
+            f.repetition = run.repetition;
+            f.verdict = validate_run(run, options.run);
+            facts[c].push_back(std::move(f));
+        }
+    }
+    return validate_experiment_facts(facts, options);
+}
+
+ExperimentVerdict validate_experiment_facts(
+    std::span<const std::vector<ValidatedRunFacts>> configs,
+    const ExperimentValidationOptions& options) {
     ExperimentVerdict out;
     out.keep_run.reserve(configs.size());
     out.keep_config.reserve(configs.size());
@@ -149,9 +169,9 @@ ExperimentVerdict validate_experiment(
         const std::string ctx = "configuration " + std::to_string(c) + ": ";
         std::vector<bool> keep(runs.size(), true);
 
-        // Per-run invariants.
+        // Per-run verdicts, scoped into the experiment log.
         for (std::size_t r = 0; r < runs.size(); ++r) {
-            RunVerdict v = validate_run(runs[r], options.run);
+            const RunVerdict& v = runs[r].verdict;
             for (const auto& d : v.diagnostics.entries()) {
                 Diagnostic scoped = d;
                 scoped.reason =
@@ -163,7 +183,7 @@ ExperimentVerdict validate_experiment(
 
         // Params must be identical across the surviving repetitions (they
         // describe the same measurement point); deviants are dropped.
-        const profiling::ProfiledRun* reference = nullptr;
+        const ValidatedRunFacts* reference = nullptr;
         for (std::size_t r = 0; r < runs.size(); ++r) {
             if (!keep[r]) continue;
             if (!reference) {
@@ -182,7 +202,7 @@ ExperimentVerdict validate_experiment(
         if (options.require_uniform_ranks) {
             std::map<std::size_t, int> freq;
             for (std::size_t r = 0; r < runs.size(); ++r) {
-                if (keep[r]) ++freq[runs[r].ranks.size()];
+                if (keep[r]) ++freq[runs[r].n_ranks];
             }
             std::size_t modal = 0;
             int best = 0;
@@ -193,11 +213,11 @@ ExperimentVerdict validate_experiment(
                 }
             }
             for (std::size_t r = 0; r < runs.size(); ++r) {
-                if (keep[r] && runs[r].ranks.size() != modal) {
+                if (keep[r] && runs[r].n_ranks != modal) {
                     keep[r] = false;
                     std::ostringstream os;
                     os << ctx << "repetition " << r << ": "
-                       << runs[r].ranks.size() << " ranks, expected " << modal
+                       << runs[r].n_ranks << " ranks, expected " << modal
                        << " like the other repetitions";
                     out.diagnostics.add(Severity::Error, os.str());
                 }

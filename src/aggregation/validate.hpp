@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/diagnostics.hpp"
@@ -78,6 +81,27 @@ struct ExperimentVerdict {
 /// the min_repetitions floor per configuration.
 ExperimentVerdict validate_experiment(
     std::span<const std::vector<profiling::ProfiledRun>> configs,
+    const ExperimentValidationOptions& options = {});
+
+/// Everything the cross-run stage of validate_experiment needs to know
+/// about one run, decoupled from the run's bulk data (events/marks). The
+/// streaming ingestion path validates each run at read time, keeps only
+/// these facts, and discards the trace — so experiment validation produces
+/// the identical diagnostic sequence without the runs in memory.
+struct ValidatedRunFacts {
+    std::map<std::string, double> params;
+    std::size_t n_ranks = 0;
+    int repetition = 0;
+    RunVerdict verdict;  ///< validate_run outcome for this run
+};
+
+/// The cross-run stage of validate_experiment, operating on precomputed
+/// per-run verdicts and facts. validate_experiment is implemented as
+/// validate_run over every run followed by this function, so materialising
+/// and streaming callers share one implementation (and one diagnostic
+/// order).
+ExperimentVerdict validate_experiment_facts(
+    std::span<const std::vector<ValidatedRunFacts>> configs,
     const ExperimentValidationOptions& options = {});
 
 }  // namespace extradeep::aggregation

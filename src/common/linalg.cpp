@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace extradeep::linalg {
 
@@ -143,6 +144,7 @@ LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b) 
     // Householder QR, overwriting a working copy of A; b is transformed along.
     Matrix r = a;
     std::vector<double> rhs = b;
+    std::vector<double> dots;
     double col_norm_max = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
         // Column norm below the pivot.
@@ -168,15 +170,19 @@ LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b) 
             continue;
         }
         // Apply H = I - 2 v v^T / (v^T v) to the trailing block and to rhs.
-        for (std::size_t c = k; c < n; ++c) {
-            double dot = 0.0;
-            for (std::size_t i = k; i < m; ++i) {
-                dot += v[i - k] * r(i, c);
-            }
-            const double f = 2.0 * dot / vnorm2;
-            for (std::size_t i = k; i < m; ++i) {
-                r(i, c) -= f * v[i - k];
-            }
+        // Loop-interchanged so the inner traversal runs along contiguous row
+        // segments (simd::axpy): dots[c - k] accumulates v^T R(:, c) in the
+        // same ascending-i order as a per-column loop, so the result is
+        // bit-identical to the column-at-a-time formulation.
+        dots.assign(n - k, 0.0);
+        for (std::size_t i = k; i < m; ++i) {
+            simd::axpy(dots.data(), v[i - k], r.row(i) + k, n - k);
+        }
+        for (std::size_t j = 0; j < n - k; ++j) {
+            dots[j] = 2.0 * dots[j] / vnorm2;
+        }
+        for (std::size_t i = k; i < m; ++i) {
+            simd::axpy(r.row(i) + k, -v[i - k], dots.data(), n - k);
         }
         {
             double dot = 0.0;
@@ -228,7 +234,8 @@ LeastSquaresResult least_squares(const Matrix& a, const std::vector<double>& b) 
     // Unscaled covariance (A^T A)^{-1}; skip when rank deficient (the
     // hypothesis will be rejected by the model selector anyway).
     if (!out.rank_deficient) {
-        const Matrix ata = a.transposed() * a;
+        Matrix ata(n, n);
+        simd::normal_equations(a.data(), m, n, ata.data());
         try {
             out.covariance_unscaled = invert_spd(ata);
         } catch (const NumericalError&) {

@@ -1,0 +1,181 @@
+#include "common/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace extradeep::simd {
+
+namespace {
+
+// GCC/Clang generic vector extension: two doubles per register (16 bytes,
+// within the baseline ABI on every supported target, so no -Wpsabi ABI
+// change); the kernels process two registers per iteration to realise the
+// 4-lane layout. Other compilers fall through to the scalar loops (the
+// Vector backend then degrades to the reference implementation, preserving
+// results exactly).
+#if defined(__GNUC__) || defined(__clang__)
+#define EXTRADEEP_SIMD_VEXT 1
+typedef double v2df __attribute__((vector_size(16)));
+
+inline v2df load2(const double* p) {
+    v2df v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline void store2(double* p, v2df v) { std::memcpy(p, &v, sizeof(v)); }
+#endif
+
+// -1 = unresolved (consult EXTRADEEP_SIMD on first use).
+std::atomic<int> g_backend{-1};
+
+Backend resolve_default() {
+    const char* env = std::getenv("EXTRADEEP_SIMD");
+    if (env != nullptr && std::string(env) == "scalar") {
+        return Backend::Scalar;
+    }
+    return Backend::Vector;
+}
+
+void mul_inplace_scalar(double* dst, const double* src, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        dst[i] *= src[i];
+    }
+}
+
+void mul_inplace_vector(double* dst, const double* src, std::size_t n) {
+#if EXTRADEEP_SIMD_VEXT
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        store2(dst + i, load2(dst + i) * load2(src + i));
+        store2(dst + i + 2, load2(dst + i + 2) * load2(src + i + 2));
+    }
+    for (; i < n; ++i) {
+        dst[i] *= src[i];
+    }
+#else
+    mul_inplace_scalar(dst, src, n);
+#endif
+}
+
+void axpy_scalar(double* y, double a, const double* x, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+        y[i] += a * x[i];
+    }
+}
+
+void axpy_vector(double* y, double a, const double* x, std::size_t n) {
+#if EXTRADEEP_SIMD_VEXT
+    const v2df va = {a, a};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        store2(y + i, load2(y + i) + va * load2(x + i));
+        store2(y + i + 2, load2(y + i + 2) + va * load2(x + i + 2));
+    }
+    for (; i < n; ++i) {
+        y[i] += a * x[i];
+    }
+#else
+    axpy_scalar(y, a, x, n);
+#endif
+}
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+    double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        lanes[0] += a[i] * b[i];
+        lanes[1] += a[i + 1] * b[i + 1];
+        lanes[2] += a[i + 2] * b[i + 2];
+        lanes[3] += a[i + 3] * b[i + 3];
+    }
+    for (std::size_t l = 0; i < n; ++i, ++l) {
+        lanes[l] += a[i] * b[i];
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+double dot_vector(const double* a, const double* b, std::size_t n) {
+#if EXTRADEEP_SIMD_VEXT
+    v2df acc01 = {0.0, 0.0};
+    v2df acc23 = {0.0, 0.0};
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        acc01 += load2(a + i) * load2(b + i);
+        acc23 += load2(a + i + 2) * load2(b + i + 2);
+    }
+    double lanes[4];
+    std::memcpy(lanes, &acc01, sizeof(acc01));
+    std::memcpy(lanes + 2, &acc23, sizeof(acc23));
+    for (std::size_t l = 0; i < n; ++i, ++l) {
+        lanes[l] += a[i] * b[i];
+    }
+    return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+#else
+    return dot_scalar(a, b, n);
+#endif
+}
+
+}  // namespace
+
+Backend active_backend() {
+    int v = g_backend.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(resolve_default());
+        g_backend.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<Backend>(v);
+}
+
+void set_backend(Backend backend) {
+    g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend backend) {
+    return backend == Backend::Scalar ? "scalar" : "vector";
+}
+
+void mul_inplace(double* dst, const double* src, std::size_t n) {
+    if (active_backend() == Backend::Vector) {
+        mul_inplace_vector(dst, src, n);
+    } else {
+        mul_inplace_scalar(dst, src, n);
+    }
+}
+
+void axpy(double* y, double a, const double* x, std::size_t n) {
+    if (active_backend() == Backend::Vector) {
+        axpy_vector(y, a, x, n);
+    } else {
+        axpy_scalar(y, a, x, n);
+    }
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+    return active_backend() == Backend::Vector ? dot_vector(a, b, n)
+                                               : dot_scalar(a, b, n);
+}
+
+void normal_equations(const double* a, std::size_t rows, std::size_t cols,
+                      double* out) {
+    std::fill(out, out + cols * cols, 0.0);
+    // Row outer products in row order, skipping exact zeros: per output
+    // element this is the same addition sequence as the classic
+    // out(i, j) = sum_r a(r, i) * a(r, j) column loop, but the inner
+    // traversal is a contiguous axpy over the row.
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = a + r * cols;
+        for (std::size_t i = 0; i < cols; ++i) {
+            const double v = row[i];
+            if (v == 0.0) {
+                continue;
+            }
+            axpy(out + i * cols, v, row, cols);
+        }
+    }
+}
+
+}  // namespace extradeep::simd

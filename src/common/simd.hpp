@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+
+namespace extradeep::simd {
+
+/// Portable vectorised kernels for the fitter's hot loops (basis-column
+/// evaluation, Householder updates, normal-equation assembly), with a
+/// scalar reference implementation selectable at runtime.
+///
+/// Bit-identity contract: for every kernel, the Scalar and Vector backends
+/// execute the same floating-point operations on the same elements in the
+/// same order — the vector backend only widens *elementwise* operations
+/// (x[i] op y[i]), never reassociates a reduction. dot() is the one
+/// reduction in this library; it uses a fixed 4-lane accumulation tree that
+/// both backends implement identically. Consequently every result is
+/// bit-identical across backends (asserted by tests/test_simd.cpp and the
+/// fitter equivalence suite in tests/test_fitter_parallel.cpp).
+
+enum class Backend {
+    Scalar,  ///< plain reference loops
+    Vector,  ///< 4-lane unrolled / compiler-vector kernels
+};
+
+/// The process-wide active backend. Defaults to Vector, overridable via the
+/// environment variable EXTRADEEP_SIMD=scalar|vector (read once, on first
+/// use) or programmatically via set_backend (e.g. from tests/benchmarks).
+Backend active_backend();
+void set_backend(Backend backend);
+const char* backend_name(Backend backend);
+
+/// dst[i] *= src[i] for i in [0, n). (Basis term columns: the product of a
+/// term's cached factor columns.)
+void mul_inplace(double* dst, const double* src, std::size_t n);
+
+/// y[i] += a * x[i] for i in [0, n). (Householder reflector application and
+/// row-wise normal-equation accumulation.)
+void axpy(double* y, double a, const double* x, std::size_t n);
+
+/// Fixed 4-lane dot product: lane l accumulates elements i with i % 4 == l
+/// of each aligned quad, tail elements fill lanes 0..r-1, and the result is
+/// (l0 + l1) + (l2 + l3). Both backends implement exactly this tree.
+double dot(const double* a, const double* b, std::size_t n);
+
+/// out = A^T A for the row-major rows x cols matrix `a`; `out` is row-major
+/// cols x cols and is overwritten. Accumulates row outer products in row
+/// order with the historical zero-skip (rows whose i-th entry is exactly
+/// 0.0 contribute nothing to out(i, *)), so the result is bit-identical to
+/// the loop nest it replaced — and, per the elementwise rule above,
+/// identical across backends.
+void normal_equations(const double* a, std::size_t rows, std::size_t cols,
+                      double* out);
+
+}  // namespace extradeep::simd

@@ -72,10 +72,10 @@ std::string render_table(const std::vector<CaseScore>& scores) {
 }
 
 std::string bench_json(const std::vector<MetricRecord>& records,
-                       const std::string& git_rev) {
+                       const std::string& git_rev, const std::string& schema) {
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema\": \"extradeep-eval/1\",\n";
+    os << "  \"schema\": " << json::quote(schema) << ",\n";
     os << "  \"git_rev\": " << json::quote(git_rev) << ",\n";
     os << "  \"records\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {

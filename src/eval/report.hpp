@@ -31,12 +31,15 @@ std::vector<MetricRecord> to_records(const std::vector<CaseScore>& scores);
 /// Human-readable results table (one row per case x noise).
 std::string render_table(const std::vector<CaseScore>& scores);
 
-/// Serialises records as the BENCH_eval.json document:
-///   {"schema": "extradeep-eval/1", "git_rev": "...", "records": [...]}
-/// Numbers are rendered locale-independently and round-trip exactly enough
-/// for gate checking.
+/// Serialises records as a BENCH_*.json document:
+///   {"schema": "<schema>", "git_rev": "...", "records": [...]}
+/// The schema tag names the producing harness (extradeep-eval/1 for the
+/// accuracy suite, extradeep-perf/1 for the performance suite); numbers are
+/// rendered locale-independently and round-trip exactly enough for gate
+/// checking.
 std::string bench_json(const std::vector<MetricRecord>& records,
-                       const std::string& git_rev);
+                       const std::string& git_rev,
+                       const std::string& schema = "extradeep-eval/1");
 
 /// One gate rule from eval_thresholds.json. `case_name` may be "*" (any
 /// case); `noise` may be -1 (any noise level). A rule must match at least

@@ -1,15 +1,348 @@
 #include "extradeep/ingest.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
+#include "aggregation/stream.hpp"
 #include "common/error.hpp"
+#include "common/parallel_for.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "profiling/edp_stream.hpp"
 
 namespace extradeep {
+
+namespace {
+
+std::atomic<std::uint64_t> g_runs_materialized{0};
+std::atomic<std::uint64_t> g_files_streamed{0};
+
+/// Everything the streaming ingest retains per run: identity, per-run
+/// validation verdict, and the fully reduced per-kernel aggregate. The
+/// run's events/marks are gone by the time this exists.
+struct StreamedRun {
+    std::map<std::string, double> params;
+    int repetition = 0;
+    std::size_t n_ranks = 0;
+    aggregation::RunVerdict verdict;
+    aggregation::RunAggregate aggregate;
+};
+
+/// Outcome of digesting one EDP file record-at-a-time.
+struct StreamedFile {
+    DiagnosticLog parse_log;  ///< unscoped reader diagnostics
+    bool ok = false;          ///< no Error-severity parse diagnostic
+    StreamedRun run;          ///< valid only when ok
+};
+
+/// One pass over an EDP file: folds records into (a) a marks-only skeleton
+/// run for validation and (b) per-rank reduced aggregates. Buffers at most
+/// one rank block (the current rank's marks + events) at a time — event
+/// assignment to step windows sorts the whole rank's events by start time,
+/// so a rank must be complete before it can be reduced bit-identically to
+/// the materialising path. Throws like read_edp_file in strict mode (and
+/// on unopenable files in any mode).
+StreamedFile stream_digest_file(const std::string& path,
+                                const IngestOptions& options) {
+    const obs::Span span{"ingest.stream_edp"};
+    std::ifstream is(path);
+    if (!is) {
+        throw Error("EDP: cannot open for reading: " + path);
+    }
+    profiling::EdpReadOptions read_options;
+    read_options.mode = options.mode;
+    profiling::EdpStreamReader reader(is, read_options);
+
+    profiling::ProfiledRun skeleton;  // params/rep/wall + marks-only ranks
+    trace::RankTrace current;         // in-flight rank block (marks + events)
+    bool have_rank = false;
+    aggregation::RunAggregator run_agg;
+    // A rank whose marks do not segment makes the whole aggregate unusable;
+    // validation is guaranteed to drop such a run (validate_steps runs
+    // segment_steps on the same marks), so the aggregate is never consumed.
+    bool aggregate_ok = true;
+
+    const auto finalize_rank = [&] {
+        if (!have_rank) return;
+        if (aggregate_ok) {
+            try {
+                run_agg.add_rank(current,
+                                 options.aggregation.discard_warmup_epochs);
+            } catch (const ParseError&) {
+                aggregate_ok = false;
+            }
+        }
+        trace::RankTrace marks_only;
+        marks_only.rank = current.rank;
+        marks_only.marks = std::move(current.marks);
+        skeleton.ranks.push_back(std::move(marks_only));
+        current = trace::RankTrace{};
+        have_rank = false;
+    };
+
+    profiling::EdpRecord rec;
+    while (reader.next(rec)) {
+        switch (rec.kind) {
+            case profiling::EdpRecord::Kind::Param:
+                skeleton.params[rec.param_name] = rec.number;
+                break;
+            case profiling::EdpRecord::Kind::Repetition:
+                skeleton.repetition = rec.index;
+                break;
+            case profiling::EdpRecord::Kind::WallTime:
+                skeleton.profiling_wall_time = rec.number;
+                break;
+            case profiling::EdpRecord::Kind::RankBegin:
+                finalize_rank();
+                current.rank = rec.index;
+                have_rank = true;
+                break;
+            case profiling::EdpRecord::Kind::Mark:
+                current.marks.push_back(rec.mark);
+                break;
+            case profiling::EdpRecord::Kind::Event:
+                current.events.push_back(rec.event);
+                break;
+            case profiling::EdpRecord::Kind::End:
+                break;
+        }
+    }
+    finalize_rank();
+
+    StreamedFile out;
+    out.parse_log = reader.take_diagnostics();
+    out.ok = !out.parse_log.has_errors();
+    if (!out.ok) {
+        return out;  // quarantined by the caller; aggregate unused
+    }
+    // Validation sees exactly what the materialising path's validate_run
+    // sees: the parser guarantees event metric sanity, and segment_steps /
+    // step monotonicity depend only on the marks, so a marks-only skeleton
+    // yields the identical verdict and diagnostics.
+    out.run.verdict = aggregation::validate_run(skeleton,
+                                                options.validation.run);
+    out.run.params = std::move(skeleton.params);
+    out.run.repetition = skeleton.repetition;
+    out.run.n_ranks = skeleton.ranks.size();
+    if (out.run.verdict.keep && aggregate_ok) {
+        out.run.aggregate = run_agg.finish();
+    }
+    return out;
+}
+
+/// Groups runs by their full parameter map and orders configurations by the
+/// primary parameter — identical logic for ProfiledRun and StreamedRun, so
+/// both ingest paths assemble configurations in the same order.
+template <typename Run>
+std::vector<std::vector<Run>> group_by_configuration(
+    std::map<std::map<std::string, double>, std::vector<Run>>&& groups,
+    const std::string& primary_parameter) {
+    std::vector<std::vector<Run>> configs;
+    configs.reserve(groups.size());
+    for (auto& [params, runs] : groups) {
+        // Repetition order on disk is arbitrary; sort for reproducibility.
+        std::stable_sort(runs.begin(), runs.end(),
+                         [](const Run& a, const Run& b) {
+                             return a.repetition < b.repetition;
+                         });
+        configs.push_back(std::move(runs));
+    }
+    std::stable_sort(configs.begin(), configs.end(),
+                     [&](const auto& a, const auto& b) {
+                         return a.front().params.at(primary_parameter) <
+                                b.front().params.at(primary_parameter);
+                     });
+    return configs;
+}
+
+void record_ingest_metrics(const IngestResult& result) {
+    if (obs::trace_enabled()) {
+        obs::MetricsRegistry& metrics = obs::global_metrics();
+        metrics.counter("extradeep_ingest_runs_total")
+            .increment(result.runs_total);
+        metrics.counter("extradeep_ingest_runs_dropped_total")
+            .increment(result.runs_total - result.runs_kept);
+        metrics.counter("extradeep_ingest_configs_total")
+            .increment(result.configs_total);
+    }
+}
+
+/// Cross-run validation + per-configuration aggregation over streamed run
+/// summaries: the streaming twin of ingest_runs, sharing
+/// validate_experiment_facts and the ConfigAggregator core so diagnostics
+/// and aggregates are bit-identical.
+IngestResult ingest_streamed_runs(std::span<std::vector<StreamedRun>> configs,
+                                  const IngestOptions& options) {
+    const obs::Span ingest_span{"ingest.runs"};
+    IngestResult result;
+    result.data = aggregation::ExperimentData(options.primary_parameter);
+    result.configs_total = configs.size();
+    for (const auto& runs : configs) {
+        result.runs_total += runs.size();
+    }
+
+    std::vector<std::vector<aggregation::ValidatedRunFacts>> facts(
+        configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        facts[c].reserve(configs[c].size());
+        for (const auto& run : configs[c]) {
+            aggregation::ValidatedRunFacts f;
+            f.params = run.params;
+            f.n_ranks = run.n_ranks;
+            f.repetition = run.repetition;
+            f.verdict = run.verdict;
+            facts[c].push_back(std::move(f));
+        }
+    }
+    aggregation::ExperimentVerdict verdict = [&] {
+        const obs::Span validate_span{"ingest.validate_experiment"};
+        return aggregation::validate_experiment_facts(facts,
+                                                      options.validation);
+    }();
+    result.diagnostics.merge(verdict.diagnostics);
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!verdict.keep_config[c]) {
+            continue;
+        }
+        std::size_t kept = 0;
+        try {
+            const obs::Span aggregate_span{"ingest.aggregate_config"};
+            aggregation::ConfigAggregator agg;
+            for (std::size_t r = 0; r < configs[c].size(); ++r) {
+                if (!verdict.keep_run[c][r]) continue;
+                agg.add_run(configs[c][r].params,
+                            std::move(configs[c][r].aggregate));
+                ++kept;
+            }
+            result.data.add(agg.finish());
+        } catch (const Error& e) {
+            result.diagnostics.add(
+                Severity::Error,
+                "configuration " + std::to_string(c) + " dropped: " + e.what());
+            continue;
+        }
+        result.configs_kept += 1;
+        result.runs_kept += kept;
+    }
+    record_ingest_metrics(result);
+    return result;
+}
+
+/// Runs `work(i)` for every i in [0, count) on `num_threads` threads via
+/// the ThreadPool submit lane (request-level dispatch, no barrier until the
+/// final join). `work` must not throw — wrap and capture exceptions.
+void for_each_submitted(std::size_t count, int num_threads,
+                        const std::function<void(std::size_t)>& work) {
+    const int threads =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(resolve_num_threads(num_threads)),
+            count));
+    if (threads < 2) {
+        for (std::size_t i = 0; i < count; ++i) {
+            work(i);
+        }
+        return;
+    }
+    // +1: submit() runs tasks on background workers only; the caller just
+    // waits, so `threads` digests run concurrently.
+    ThreadPool pool(threads + 1);
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = count;
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i] {
+            work(i);
+            {
+                const std::lock_guard<std::mutex> lock(mutex);
+                --remaining;
+            }
+            done.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [&] { return remaining == 0; });
+}
+
+IngestResult ingest_edp_files_streaming(std::span<const std::string> paths,
+                                        const IngestOptions& options) {
+    struct Slot {
+        StreamedFile file;
+        std::exception_ptr error;
+    };
+    std::vector<Slot> slots(paths.size());
+    for_each_submitted(paths.size(), options.num_threads, [&](std::size_t i) {
+        try {
+            slots[i].file = stream_digest_file(paths[i], options);
+        } catch (...) {
+            slots[i].error = std::current_exception();
+        }
+    });
+
+    // Merge in path order: diagnostics, drop decisions, and (in strict
+    // mode) the first failure are deterministic regardless of num_threads.
+    DiagnosticLog parse_log;
+    std::size_t dropped_files = 0;
+    std::map<std::map<std::string, double>, std::vector<StreamedRun>> groups;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        const std::string& path = paths[i];
+        Slot& slot = slots[i];
+        if (slot.error) {
+            if (options.mode == profiling::ParseMode::Strict) {
+                std::rethrow_exception(slot.error);
+            }
+            try {
+                std::rethrow_exception(slot.error);
+            } catch (const Error& e) {
+                parse_log.add(Severity::Error, path + ": " + e.what());
+                ++dropped_files;
+                continue;
+            }
+        }
+        g_files_streamed.fetch_add(1, std::memory_order_relaxed);
+        for (const auto& d : slot.file.parse_log.entries()) {
+            Diagnostic scoped = d;
+            scoped.reason = path + ": " + d.reason;
+            parse_log.add(std::move(scoped));
+        }
+        if (!slot.file.ok) {
+            parse_log.add(Severity::Error,
+                          path + ": file quarantined (" +
+                              slot.file.parse_log.summary() + ")");
+            ++dropped_files;
+            continue;
+        }
+        if (slot.file.run.params.find(options.primary_parameter) ==
+            slot.file.run.params.end()) {
+            parse_log.add(Severity::Error,
+                          path + ": run lacks primary parameter '" +
+                              options.primary_parameter + "'");
+            ++dropped_files;
+            continue;
+        }
+        groups[slot.file.run.params].push_back(std::move(slot.file.run));
+    }
+
+    std::vector<std::vector<StreamedRun>> configs =
+        group_by_configuration(std::move(groups), options.primary_parameter);
+
+    IngestResult result = ingest_streamed_runs(configs, options);
+    result.runs_total += dropped_files;
+    // Parse diagnostics come first: they precede validation logically.
+    DiagnosticLog merged(DiagnosticLog::kDefaultCapacity);
+    merged.merge(parse_log);
+    merged.merge(result.diagnostics);
+    result.diagnostics = std::move(merged);
+    return result;
+}
+
+}  // namespace
 
 std::string IngestResult::summary() const {
     std::ostringstream os;
@@ -21,9 +354,50 @@ std::string IngestResult::summary() const {
     return os.str();
 }
 
+IngestCounters ingest_counters() {
+    IngestCounters out;
+    out.runs_materialized = g_runs_materialized.load(std::memory_order_relaxed);
+    out.files_streamed = g_files_streamed.load(std::memory_order_relaxed);
+    return out;
+}
+
 IngestResult ingest_runs(
     std::span<const std::vector<profiling::ProfiledRun>> configs,
     const IngestOptions& options) {
+    if (options.streaming) {
+        // Reduce each run up front (validate_run + per-rank fold) and share
+        // the streamed assembly path: no kept-run copies are made.
+        std::vector<std::vector<StreamedRun>> summaries(configs.size());
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            summaries[c].reserve(configs[c].size());
+            for (const auto& run : configs[c]) {
+                StreamedRun s;
+                s.params = run.params;
+                s.repetition = run.repetition;
+                s.n_ranks = run.ranks.size();
+                s.verdict =
+                    aggregation::validate_run(run, options.validation.run);
+                if (s.verdict.keep) {
+                    try {
+                        aggregation::RunAggregator run_agg;
+                        for (const auto& rank_trace : run.ranks) {
+                            run_agg.add_rank(
+                                rank_trace,
+                                options.aggregation.discard_warmup_epochs);
+                        }
+                        s.aggregate = run_agg.finish();
+                    } catch (const ParseError&) {
+                        // validate_run keeps only runs whose marks segment,
+                        // so this is unreachable; the empty aggregate would
+                        // surface as a dropped configuration.
+                    }
+                }
+                summaries[c].push_back(std::move(s));
+            }
+        }
+        return ingest_streamed_runs(summaries, options);
+    }
+
     const obs::Span ingest_span{"ingest.runs"};
     IngestResult result;
     result.data = aggregation::ExperimentData(options.primary_parameter);
@@ -64,23 +438,32 @@ IngestResult ingest_runs(
         result.configs_kept += 1;
         result.runs_kept += kept.size();
     }
-    if (obs::trace_enabled()) {
-        obs::MetricsRegistry& metrics = obs::global_metrics();
-        metrics.counter("extradeep_ingest_runs_total")
-            .increment(result.runs_total);
-        metrics.counter("extradeep_ingest_runs_dropped_total")
-            .increment(result.runs_total - result.runs_kept);
-        metrics.counter("extradeep_ingest_configs_total")
-            .increment(result.configs_total);
-    }
+    record_ingest_metrics(result);
     return result;
 }
 
 IngestResult ingest_edp_files(std::span<const std::string> paths,
                               const IngestOptions& options) {
     const obs::Span files_span{"ingest.edp_files"};
+    if (options.streaming) {
+        return ingest_edp_files_streaming(paths, options);
+    }
     profiling::EdpReadOptions read_options;
     read_options.mode = options.mode;
+
+    struct Slot {
+        profiling::EdpReadResult parsed;
+        std::exception_ptr error;
+    };
+    std::vector<Slot> slots(paths.size());
+    for_each_submitted(paths.size(), options.num_threads, [&](std::size_t i) {
+        try {
+            const obs::Span read_span{"ingest.read_edp"};
+            slots[i].parsed = profiling::read_edp_file(paths[i], read_options);
+        } catch (...) {
+            slots[i].error = std::current_exception();
+        }
+    });
 
     DiagnosticLog parse_log;
     std::size_t dropped_files = 0;
@@ -89,20 +472,25 @@ IngestResult ingest_edp_files(std::span<const std::string> paths,
     std::map<std::map<std::string, double>,
              std::vector<profiling::ProfiledRun>>
         groups;
-    for (const auto& path : paths) {
-        profiling::EdpReadResult parsed;
-        try {
-            const obs::Span read_span{"ingest.read_edp"};
-            parsed = profiling::read_edp_file(path, read_options);
-        } catch (const Error& e) {
-            // Strict mode rethrows: fail fast is the contract there.
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        const std::string& path = paths[i];
+        Slot& slot = slots[i];
+        if (slot.error) {
+            // Strict mode rethrows: fail fast is the contract there (the
+            // lowest path index wins, independent of num_threads).
             if (options.mode == profiling::ParseMode::Strict) {
-                throw;
+                std::rethrow_exception(slot.error);
             }
-            parse_log.add(Severity::Error, path + ": " + e.what());
-            ++dropped_files;
-            continue;
+            try {
+                std::rethrow_exception(slot.error);
+            } catch (const Error& e) {
+                parse_log.add(Severity::Error, path + ": " + e.what());
+                ++dropped_files;
+                continue;
+            }
         }
+        g_runs_materialized.fetch_add(1, std::memory_order_relaxed);
+        profiling::EdpReadResult& parsed = slot.parsed;
         for (const auto& d : parsed.diagnostics.entries()) {
             Diagnostic scoped = d;
             scoped.reason = path + ": " + d.reason;
@@ -126,22 +514,8 @@ IngestResult ingest_edp_files(std::span<const std::string> paths,
         groups[parsed.run.params].push_back(std::move(parsed.run));
     }
 
-    std::vector<std::vector<profiling::ProfiledRun>> configs;
-    configs.reserve(groups.size());
-    for (auto& [params, runs] : groups) {
-        // Repetition order on disk is arbitrary; sort for reproducibility.
-        std::stable_sort(runs.begin(), runs.end(),
-                         [](const profiling::ProfiledRun& a,
-                            const profiling::ProfiledRun& b) {
-                             return a.repetition < b.repetition;
-                         });
-        configs.push_back(std::move(runs));
-    }
-    std::stable_sort(configs.begin(), configs.end(),
-                     [&](const auto& a, const auto& b) {
-                         return a.front().params.at(options.primary_parameter) <
-                                b.front().params.at(options.primary_parameter);
-                     });
+    std::vector<std::vector<profiling::ProfiledRun>> configs =
+        group_by_configuration(std::move(groups), options.primary_parameter);
 
     IngestResult result = ingest_runs(configs, options);
     result.runs_total += dropped_files;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <set>
@@ -9,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/parallel_for.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -99,6 +101,7 @@ struct FitScratch {
     linalg::Matrix basis;
     linalg::Matrix a;
     std::vector<double> b;
+    std::vector<double> term_col;
     std::vector<double> predicted;
     std::vector<double> cv_pred;
 };
@@ -120,15 +123,18 @@ void basis_matrix(const std::vector<Term>& terms,
     for (std::size_t r = 0; r < n; ++r) {
         b(r, 0) = 1.0;
     }
+    // The term column is built in a contiguous buffer (simd::mul_inplace
+    // over the cached factor columns, in Term::basis factor order — the same
+    // per-element multiply chain as before) and then scattered into the
+    // strided basis column.
     for (std::size_t t = 0; t < terms.size(); ++t) {
-        for (std::size_t r = 0; r < n; ++r) {
-            b(r, t + 1) = 1.0;
-        }
+        scratch.term_col.assign(n, 1.0);
         for (const auto& f : terms[t].factors) {
             const std::vector<double>& col = cache.column(f);
-            for (std::size_t r = 0; r < n; ++r) {
-                b(r, t + 1) *= col[r];
-            }
+            simd::mul_inplace(scratch.term_col.data(), col.data(), n);
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+            b(r, t + 1) = scratch.term_col[r];
         }
     }
 }
@@ -148,9 +154,7 @@ linalg::LeastSquaresResult fit_rows(const linalg::Matrix& basis,
         if (i == excluded_row) {
             continue;
         }
-        for (std::size_t c = 0; c < k; ++c) {
-            scratch.a(r, c) = basis(i, c);
-        }
+        std::memcpy(scratch.a.row(r), basis.row(i), k * sizeof(double));
         scratch.b[r] = values[i];
         ++r;
     }

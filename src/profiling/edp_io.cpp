@@ -1,21 +1,16 @@
 #include "profiling/edp_io.hpp"
 
-#include <cmath>
 #include <fstream>
-#include <limits>
-#include <set>
-#include <sstream>
-#include <vector>
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "profiling/edp_stream.hpp"
 
 namespace extradeep::profiling {
 
 namespace {
 
 using trace::NvtxMark;
-using trace::StepKind;
 
 const char* mark_kind_str(NvtxMark::Kind k) {
     switch (k) {
@@ -27,320 +22,57 @@ const char* mark_kind_str(NvtxMark::Kind k) {
     throw InvalidArgumentError("mark_kind_str: unknown kind");
 }
 
-NvtxMark::Kind parse_mark_kind(const std::string& s) {
-    if (s == "epoch_start") return NvtxMark::Kind::EpochStart;
-    if (s == "epoch_end") return NvtxMark::Kind::EpochEnd;
-    if (s == "step_start") return NvtxMark::Kind::StepStart;
-    if (s == "step_end") return NvtxMark::Kind::StepEnd;
-    throw ParseError("EDP: unknown mark kind '" + s + "'");
-}
-
-bool name_is_clean(const std::string& name) {
-    return name.find('\t') == std::string::npos &&
-           name.find('\n') == std::string::npos &&
-           name.find('\r') == std::string::npos;
-}
-
 /// Write-path name guard (kept as InvalidArgumentError for compatibility).
 void check_name(const std::string& name) {
-    if (!name_is_clean(name)) {
+    if (name.find('\t') != std::string::npos ||
+        name.find('\n') != std::string::npos ||
+        name.find('\r') != std::string::npos) {
         throw InvalidArgumentError("EDP: name contains tab/newline: " + name);
     }
 }
 
-/// Read-path name guard: the same rule, but a parse failure. A name with an
-/// embedded newline can only come from a hand-edited file and would
-/// desynchronise the line-based format.
-void check_read_name(const std::string& name, const char* what) {
-    if (!name_is_clean(name)) {
-        throw ParseError(std::string("EDP: ") + what +
-                         " contains tab/newline/carriage-return");
-    }
-}
-
-std::vector<std::string> split_tabs(const std::string& line) {
-    std::vector<std::string> out;
-    std::size_t pos = 0;
-    while (true) {
-        const std::size_t tab = line.find('\t', pos);
-        if (tab == std::string::npos) {
-            out.push_back(line.substr(pos));
-            break;
-        }
-        out.push_back(line.substr(pos, tab - pos));
-        pos = tab + 1;
-    }
-    return out;
-}
-
-double parse_double(const std::string& s, const char* what) {
-    double v = 0.0;
-    try {
-        std::size_t idx = 0;
-        v = std::stod(s, &idx);
-        if (idx != s.size()) {
-            throw ParseError(std::string("EDP: trailing junk in ") + what);
-        }
-    } catch (const std::invalid_argument&) {
-        throw ParseError(std::string("EDP: bad number for ") + what + ": '" +
-                         s + "'");
-    } catch (const std::out_of_range&) {
-        throw ParseError(std::string("EDP: number out of range for ") + what);
-    }
-    if (!std::isfinite(v)) {
-        throw ParseError(std::string("EDP: non-finite value for ") + what +
-                         ": '" + s + "'");
-    }
-    return v;
-}
-
-double parse_nonneg_double(const std::string& s, const char* what) {
-    const double v = parse_double(s, what);
-    if (v < 0.0) {
-        throw ParseError(std::string("EDP: negative value for ") + what +
-                         ": '" + s + "'");
-    }
-    return v;
-}
-
-long long parse_int(const std::string& s, const char* what) {
-    try {
-        std::size_t idx = 0;
-        const long long v = std::stoll(s, &idx);
-        if (idx != s.size()) {
-            throw ParseError(std::string("EDP: trailing junk in ") + what);
-        }
-        return v;
-    } catch (const std::invalid_argument&) {
-        throw ParseError(std::string("EDP: bad integer for ") + what + ": '" +
-                         s + "'");
-    } catch (const std::out_of_range&) {
-        throw ParseError(std::string("EDP: integer out of range for ") + what);
-    }
-}
-
-/// Integer destined for an `int` field, with semantic bounds.
-int parse_bounded_int(const std::string& s, const char* what, long long lo,
-                      long long hi = std::numeric_limits<int>::max()) {
-    const long long v = parse_int(s, what);
-    if (v < lo || v > hi) {
-        throw ParseError(std::string("EDP: ") + what + " out of range: '" + s +
-                         "'");
-    }
-    return static_cast<int>(v);
-}
-
-/// Shared state of one read_edp pass. Strict mode throws out of
-/// process_line on the first problem; tolerant mode catches per line and
-/// records diagnostics instead.
-struct ParseState {
-    ParseMode mode = ParseMode::Strict;
-    DiagnosticLog log;
-    ProfiledRun run;
-    trace::RankTrace* current = nullptr;
-    std::set<int> seen_ranks;
-    long long line_no = 0;
-    bool saw_end = false;
-    /// Event/mark records skipped because no usable RANK block is open
-    /// (quarantine after a corrupt or duplicate RANK header, or records
-    /// before any RANK at all). Reported once per block, not per line.
-    std::size_t skipped_records = 0;
-    long long skip_start_line = -1;
-
-    explicit ParseState(const EdpReadOptions& o)
-        : mode(o.mode), log(o.max_diagnostics) {}
-
-    int current_rank() const { return current ? current->rank : -1; }
-
-    void warn(std::string reason, long long line, int rank = -1) {
-        log.add(Severity::Warning, std::move(reason), line, rank);
-    }
-
-    void flush_skipped() {
-        if (skipped_records > 0) {
-            std::ostringstream os;
-            os << "EDP: quarantined " << skipped_records
-               << " event/mark record(s) with no usable RANK block";
-            log.add(Severity::Info, os.str(), skip_start_line);
-            skipped_records = 0;
-            skip_start_line = -1;
-        }
-    }
-
-    /// Tolerant-mode bookkeeping for one skipped orphan/quarantined record.
-    void count_skipped() {
-        if (skipped_records == 0) {
-            skip_start_line = line_no;
-            warn("EDP: event/mark record outside a usable RANK block", line_no);
-        }
-        ++skipped_records;
-    }
-};
-
-/// Parses one non-empty record line into `s`. Throws ParseError on any
-/// problem; returns true when the END record was consumed.
-bool process_line(ParseState& s, const std::vector<std::string>& f) {
-    const std::string& tag = f[0];
-    if (tag == "P") {
-        if (f.size() != 3) throw ParseError("EDP: malformed P line");
-        check_read_name(f[1], "param name");
-        s.run.params[f[1]] = parse_double(f[2], "param value");
-    } else if (tag == "REP") {
-        if (f.size() != 2) throw ParseError("EDP: malformed REP line");
-        s.run.repetition = parse_bounded_int(f[1], "repetition", 0);
-    } else if (tag == "WALL") {
-        if (f.size() != 2) throw ParseError("EDP: malformed WALL line");
-        s.run.profiling_wall_time = parse_nonneg_double(f[1], "wall time");
-    } else if (tag == "RANK") {
-        s.flush_skipped();
-        // Any failure below quarantines the whole block in tolerant mode:
-        // events of an undecodable or duplicated rank cannot be attributed.
-        s.current = nullptr;
-        if (f.size() != 2) throw ParseError("EDP: malformed RANK line");
-        const int rank = parse_bounded_int(f[1], "rank", 0);
-        if (!s.seen_ranks.insert(rank).second) {
-            throw ParseError("EDP: duplicate RANK block for rank " + f[1]);
-        }
-        trace::RankTrace t;
-        t.rank = rank;
-        s.run.ranks.push_back(std::move(t));
-        s.current = &s.run.ranks.back();
-    } else if (tag == "M") {
-        if (!s.current) {
-            if (s.mode == ParseMode::Tolerant) {
-                s.count_skipped();
-                return false;
-            }
-            throw ParseError("EDP: mark before RANK");
-        }
-        if (f.size() != 6) throw ParseError("EDP: malformed M line");
-        NvtxMark m;
-        m.kind = parse_mark_kind(f[1]);
-        m.epoch = parse_bounded_int(f[2], "epoch", 0);
-        m.step = parse_bounded_int(f[3], "step", -1);
-        if (f[4] == "train") {
-            m.step_kind = StepKind::Train;
-        } else if (f[4] == "validation") {
-            m.step_kind = StepKind::Validation;
-        } else {
-            throw ParseError("EDP: unknown step kind '" + f[4] + "'");
-        }
-        m.time = parse_nonneg_double(f[5], "mark time");
-        s.current->marks.push_back(m);
-    } else if (tag == "E") {
-        if (!s.current) {
-            if (s.mode == ParseMode::Tolerant) {
-                s.count_skipped();
-                return false;
-            }
-            throw ParseError("EDP: event before RANK");
-        }
-        if (f.size() != 7) throw ParseError("EDP: malformed E line");
-        check_read_name(f[1], "event name");
-        trace::TraceEvent e;
-        e.name = f[1];
-        e.category = trace::parse_category(f[2]);
-        e.start = parse_nonneg_double(f[3], "event start");
-        e.duration = parse_nonneg_double(f[4], "event duration");
-        e.visits = parse_int(f[5], "event visits");
-        if (e.visits < 0) {
-            throw ParseError("EDP: negative value for event visits");
-        }
-        e.bytes = parse_nonneg_double(f[6], "event bytes");
-        s.current->events.push_back(std::move(e));
-    } else if (tag == "END") {
-        if (f.size() != 1) throw ParseError("EDP: malformed END line");
-        s.flush_skipped();
-        s.saw_end = true;
-        return true;
-    } else {
-        throw ParseError("EDP: unknown record tag '" + tag + "'");
-    }
-    return false;
-}
-
-/// getline + CRLF tolerance: a trailing carriage return (Windows-edited
-/// profile) is stripped so it cannot corrupt the last field of each line.
-bool next_line(std::istream& is, std::string& line, long long& line_no) {
-    if (!std::getline(is, line)) {
-        return false;
-    }
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') {
-        line.pop_back();
-    }
-    return true;
-}
-
+/// The materialising read path is a fold over the streaming reader: every
+/// record is appended to a ProfiledRun. The reader is the single
+/// implementation of the EDP grammar and the strict/tolerant diagnostic
+/// contract, so the streaming ingestion path (which consumes the same
+/// records without materialising) is equivalent by construction — every
+/// parser/fault-injection test exercising this function validates the
+/// reader too. See DESIGN.md §13.
 EdpReadResult read_edp_impl(std::istream& is, const EdpReadOptions& options) {
-    ParseState s(options);
-    const bool tolerant = options.mode == ParseMode::Tolerant;
-    std::string line;
-
-    bool reprocess_first_line = false;
-    if (!next_line(is, line, s.line_no)) {
-        if (!tolerant) throw ParseError("EDP: empty input");
-        s.log.add(Severity::Error, "EDP: empty input");
-        return {std::move(s.run), std::move(s.log)};
-    }
-    {
-        const auto f = split_tabs(line);
-        if (f.size() != 2 || f[0] != "EDP") {
-            if (!tolerant) throw ParseError("EDP: missing header");
-            s.log.add(Severity::Error, "EDP: missing header", s.line_no);
-            // Best effort: the first line may itself be a record (e.g. the
-            // header was deleted); feed it through the normal dispatch.
-            reprocess_first_line = !line.empty();
-        } else if (f[1] != "1") {
-            if (!tolerant) {
-                throw ParseError("EDP: unsupported version " + f[1]);
+    EdpStreamReader reader(is, options);
+    EdpReadResult out;
+    EdpRecord rec;
+    while (reader.next(rec)) {
+        switch (rec.kind) {
+            case EdpRecord::Kind::Param:
+                out.run.params[rec.param_name] = rec.number;
+                break;
+            case EdpRecord::Kind::Repetition:
+                out.run.repetition = rec.index;
+                break;
+            case EdpRecord::Kind::WallTime:
+                out.run.profiling_wall_time = rec.number;
+                break;
+            case EdpRecord::Kind::RankBegin: {
+                trace::RankTrace t;
+                t.rank = rec.index;
+                out.run.ranks.push_back(std::move(t));
+                break;
             }
-            s.log.add(Severity::Error, "EDP: unsupported version " + f[1],
-                      s.line_no);
+            case EdpRecord::Kind::Mark:
+                // The reader only emits marks/events inside a usable RANK
+                // block, so ranks is never empty here.
+                out.run.ranks.back().marks.push_back(rec.mark);
+                break;
+            case EdpRecord::Kind::Event:
+                out.run.ranks.back().events.push_back(rec.event);
+                break;
+            case EdpRecord::Kind::End:
+                break;
         }
     }
-
-    bool have_line = reprocess_first_line;
-    while (have_line || next_line(is, line, s.line_no)) {
-        have_line = false;
-        if (line.empty()) continue;
-        const auto f = split_tabs(line);
-        if (!tolerant) {
-            if (process_line(s, f)) break;
-        } else {
-            try {
-                if (process_line(s, f)) break;
-            } catch (const ParseError& e) {
-                s.warn(e.what(), s.line_no, s.current_rank());
-                if (f[0] == "RANK") {
-                    // The block header is unusable; swallow its records.
-                    s.current = nullptr;
-                }
-            }
-        }
-    }
-    s.flush_skipped();
-
-    if (!s.saw_end) {
-        if (!tolerant) throw ParseError("EDP: truncated file (missing END)");
-        s.log.add(Severity::Error, "EDP: truncated file (missing END)",
-                  s.line_no);
-    } else {
-        // Anything after END indicates a desynchronised or concatenated
-        // file; a hand-edited name containing a newline shows up here.
-        std::size_t trailing = 0;
-        while (next_line(is, line, s.line_no)) {
-            if (!line.empty()) ++trailing;
-        }
-        if (trailing > 0) {
-            if (!tolerant) throw ParseError("EDP: trailing data after END");
-            std::ostringstream os;
-            os << "EDP: ignored " << trailing
-               << " line(s) of trailing data after END";
-            s.warn(os.str(), s.line_no);
-        }
-    }
-    return {std::move(s.run), std::move(s.log)};
+    out.diagnostics = reader.take_diagnostics();
+    return out;
 }
 
 }  // namespace

@@ -1,0 +1,334 @@
+#include "profiling/edp_stream.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/kernel.hpp"
+
+namespace extradeep::profiling {
+
+namespace {
+
+using trace::NvtxMark;
+using trace::StepKind;
+
+NvtxMark::Kind parse_mark_kind(const std::string& s) {
+    if (s == "epoch_start") return NvtxMark::Kind::EpochStart;
+    if (s == "epoch_end") return NvtxMark::Kind::EpochEnd;
+    if (s == "step_start") return NvtxMark::Kind::StepStart;
+    if (s == "step_end") return NvtxMark::Kind::StepEnd;
+    throw ParseError("EDP: unknown mark kind '" + s + "'");
+}
+
+bool name_is_clean(const std::string& name) {
+    return name.find('\t') == std::string::npos &&
+           name.find('\n') == std::string::npos &&
+           name.find('\r') == std::string::npos;
+}
+
+/// Read-path name guard: a name with an embedded tab/newline can only come
+/// from a hand-edited file and would desynchronise the line-based format.
+void check_read_name(const std::string& name, const char* what) {
+    if (!name_is_clean(name)) {
+        throw ParseError(std::string("EDP: ") + what +
+                         " contains tab/newline/carriage-return");
+    }
+}
+
+/// Splits on tabs, reusing the output vector's string capacity across calls
+/// (this is the per-line hot path of the streaming reader).
+void split_tabs_into(const std::string& line, std::vector<std::string>& out) {
+    std::size_t n = 0;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', pos);
+        const std::size_t end = tab == std::string::npos ? line.size() : tab;
+        if (n < out.size()) {
+            out[n].assign(line, pos, end - pos);
+        } else {
+            out.emplace_back(line, pos, end - pos);
+        }
+        ++n;
+        if (tab == std::string::npos) break;
+        pos = tab + 1;
+    }
+    out.resize(n);
+}
+
+double parse_double(const std::string& s, const char* what) {
+    double v = 0.0;
+    try {
+        std::size_t idx = 0;
+        v = std::stod(s, &idx);
+        if (idx != s.size()) {
+            throw ParseError(std::string("EDP: trailing junk in ") + what);
+        }
+    } catch (const std::invalid_argument&) {
+        throw ParseError(std::string("EDP: bad number for ") + what + ": '" +
+                         s + "'");
+    } catch (const std::out_of_range&) {
+        throw ParseError(std::string("EDP: number out of range for ") + what);
+    }
+    if (!std::isfinite(v)) {
+        throw ParseError(std::string("EDP: non-finite value for ") + what +
+                         ": '" + s + "'");
+    }
+    return v;
+}
+
+double parse_nonneg_double(const std::string& s, const char* what) {
+    const double v = parse_double(s, what);
+    if (v < 0.0) {
+        throw ParseError(std::string("EDP: negative value for ") + what +
+                         ": '" + s + "'");
+    }
+    return v;
+}
+
+long long parse_int(const std::string& s, const char* what) {
+    try {
+        std::size_t idx = 0;
+        const long long v = std::stoll(s, &idx);
+        if (idx != s.size()) {
+            throw ParseError(std::string("EDP: trailing junk in ") + what);
+        }
+        return v;
+    } catch (const std::invalid_argument&) {
+        throw ParseError(std::string("EDP: bad integer for ") + what + ": '" +
+                         s + "'");
+    } catch (const std::out_of_range&) {
+        throw ParseError(std::string("EDP: integer out of range for ") + what);
+    }
+}
+
+/// Integer destined for an `int` field, with semantic bounds.
+int parse_bounded_int(const std::string& s, const char* what, long long lo,
+                      long long hi = std::numeric_limits<int>::max()) {
+    const long long v = parse_int(s, what);
+    if (v < lo || v > hi) {
+        throw ParseError(std::string("EDP: ") + what + " out of range: '" + s +
+                         "'");
+    }
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+EdpStreamReader::EdpStreamReader(std::istream& is,
+                                 const EdpReadOptions& options)
+    : is_(is), mode_(options.mode), log_(options.max_diagnostics) {}
+
+/// getline + CRLF tolerance: a trailing carriage return (Windows-edited
+/// profile) is stripped so it cannot corrupt the last field of each line.
+bool EdpStreamReader::read_line() {
+    if (!std::getline(is_, line_)) {
+        return false;
+    }
+    ++line_no_;
+    if (!line_.empty() && line_.back() == '\r') {
+        line_.pop_back();
+    }
+    return true;
+}
+
+void EdpStreamReader::flush_skipped() {
+    if (skipped_records_ > 0) {
+        std::ostringstream os;
+        os << "EDP: quarantined " << skipped_records_
+           << " event/mark record(s) with no usable RANK block";
+        log_.add(Severity::Info, os.str(), skip_start_line_);
+        skipped_records_ = 0;
+        skip_start_line_ = -1;
+    }
+}
+
+void EdpStreamReader::count_skipped() {
+    if (skipped_records_ == 0) {
+        skip_start_line_ = line_no_;
+        warn("EDP: event/mark record outside a usable RANK block", line_no_);
+    }
+    ++skipped_records_;
+}
+
+void EdpStreamReader::finish_truncated() {
+    if (!saw_end_) {
+        if (mode_ != ParseMode::Tolerant) {
+            throw ParseError("EDP: truncated file (missing END)");
+        }
+        log_.add(Severity::Error, "EDP: truncated file (missing END)",
+                 line_no_);
+    }
+}
+
+void EdpStreamReader::finish_after_end() {
+    // Anything after END indicates a desynchronised or concatenated file;
+    // a hand-edited name containing a newline shows up here.
+    std::size_t trailing = 0;
+    while (read_line()) {
+        if (!line_.empty()) ++trailing;
+    }
+    if (trailing > 0) {
+        if (mode_ != ParseMode::Tolerant) {
+            throw ParseError("EDP: trailing data after END");
+        }
+        std::ostringstream os;
+        os << "EDP: ignored " << trailing
+           << " line(s) of trailing data after END";
+        warn(os.str(), line_no_);
+    }
+}
+
+bool EdpStreamReader::process_fields(EdpRecord& out) {
+    const std::string& tag = fields_[0];
+    const auto& f = fields_;
+    if (tag == "P") {
+        if (f.size() != 3) throw ParseError("EDP: malformed P line");
+        check_read_name(f[1], "param name");
+        out.number = parse_double(f[2], "param value");
+        out.param_name = f[1];
+        out.kind = EdpRecord::Kind::Param;
+    } else if (tag == "REP") {
+        if (f.size() != 2) throw ParseError("EDP: malformed REP line");
+        out.index = parse_bounded_int(f[1], "repetition", 0);
+        out.kind = EdpRecord::Kind::Repetition;
+    } else if (tag == "WALL") {
+        if (f.size() != 2) throw ParseError("EDP: malformed WALL line");
+        out.number = parse_nonneg_double(f[1], "wall time");
+        out.kind = EdpRecord::Kind::WallTime;
+    } else if (tag == "RANK") {
+        flush_skipped();
+        // Any failure below quarantines the whole block in tolerant mode:
+        // events of an undecodable or duplicated rank cannot be attributed.
+        rank_usable_ = false;
+        if (f.size() != 2) throw ParseError("EDP: malformed RANK line");
+        const int rank = parse_bounded_int(f[1], "rank", 0);
+        if (!seen_ranks_.insert(rank).second) {
+            throw ParseError("EDP: duplicate RANK block for rank " + f[1]);
+        }
+        rank_usable_ = true;
+        current_rank_ = rank;
+        out.index = rank;
+        out.kind = EdpRecord::Kind::RankBegin;
+    } else if (tag == "M") {
+        if (!rank_usable_) {
+            if (mode_ == ParseMode::Tolerant) {
+                count_skipped();
+                return false;
+            }
+            throw ParseError("EDP: mark before RANK");
+        }
+        if (f.size() != 6) throw ParseError("EDP: malformed M line");
+        NvtxMark m;
+        m.kind = parse_mark_kind(f[1]);
+        m.epoch = parse_bounded_int(f[2], "epoch", 0);
+        m.step = parse_bounded_int(f[3], "step", -1);
+        if (f[4] == "train") {
+            m.step_kind = StepKind::Train;
+        } else if (f[4] == "validation") {
+            m.step_kind = StepKind::Validation;
+        } else {
+            throw ParseError("EDP: unknown step kind '" + f[4] + "'");
+        }
+        m.time = parse_nonneg_double(f[5], "mark time");
+        out.mark = m;
+        out.kind = EdpRecord::Kind::Mark;
+    } else if (tag == "E") {
+        if (!rank_usable_) {
+            if (mode_ == ParseMode::Tolerant) {
+                count_skipped();
+                return false;
+            }
+            throw ParseError("EDP: event before RANK");
+        }
+        if (f.size() != 7) throw ParseError("EDP: malformed E line");
+        check_read_name(f[1], "event name");
+        out.event.category = trace::parse_category(f[2]);
+        out.event.start = parse_nonneg_double(f[3], "event start");
+        out.event.duration = parse_nonneg_double(f[4], "event duration");
+        out.event.visits = parse_int(f[5], "event visits");
+        if (out.event.visits < 0) {
+            throw ParseError("EDP: negative value for event visits");
+        }
+        out.event.bytes = parse_nonneg_double(f[6], "event bytes");
+        out.event.name = f[1];
+        out.kind = EdpRecord::Kind::Event;
+    } else if (tag == "END") {
+        if (f.size() != 1) throw ParseError("EDP: malformed END line");
+        flush_skipped();
+        saw_end_ = true;
+        out.kind = EdpRecord::Kind::End;
+    } else {
+        throw ParseError("EDP: unknown record tag '" + tag + "'");
+    }
+    return true;
+}
+
+bool EdpStreamReader::next(EdpRecord& out) {
+    if (stage_ == Stage::Done) {
+        return false;
+    }
+    const bool tolerant = mode_ == ParseMode::Tolerant;
+
+    if (stage_ == Stage::Header) {
+        stage_ = Stage::Body;
+        if (!read_line()) {
+            if (!tolerant) throw ParseError("EDP: empty input");
+            log_.add(Severity::Error, "EDP: empty input");
+            stage_ = Stage::Done;
+            return false;
+        }
+        split_tabs_into(line_, fields_);
+        if (fields_.size() != 2 || fields_[0] != "EDP") {
+            if (!tolerant) throw ParseError("EDP: missing header");
+            log_.add(Severity::Error, "EDP: missing header", line_no_);
+            // Best effort: the first line may itself be a record (e.g. the
+            // header was deleted); feed it through the normal dispatch.
+            have_pending_line_ = !line_.empty();
+        } else if (fields_[1] != "1") {
+            if (!tolerant) {
+                throw ParseError("EDP: unsupported version " + fields_[1]);
+            }
+            log_.add(Severity::Error, "EDP: unsupported version " + fields_[1],
+                     line_no_);
+        }
+    }
+
+    while (true) {
+        if (have_pending_line_) {
+            have_pending_line_ = false;
+        } else if (!read_line()) {
+            flush_skipped();
+            finish_truncated();
+            stage_ = Stage::Done;
+            return false;
+        }
+        if (line_.empty()) continue;
+        split_tabs_into(line_, fields_);
+        bool emitted = false;
+        if (!tolerant) {
+            emitted = process_fields(out);
+        } else {
+            try {
+                emitted = process_fields(out);
+            } catch (const ParseError& e) {
+                warn(e.what(), line_no_, current_rank());
+                if (fields_[0] == "RANK") {
+                    // The block header is unusable; swallow its records.
+                    rank_usable_ = false;
+                }
+                continue;
+            }
+        }
+        if (!emitted) continue;
+        if (out.kind == EdpRecord::Kind::End) {
+            finish_after_end();
+            stage_ = Stage::Done;
+        }
+        return true;
+    }
+}
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/diagnostics.hpp"
+#include "profiling/edp_io.hpp"
+#include "trace/timeline.hpp"
+
+namespace extradeep::profiling {
+
+/// One decoded EDP record, produced by EdpStreamReader::next. The reader
+/// reuses the same EdpRecord object across calls when the caller passes the
+/// same instance, so string/vector capacity is recycled on the hot path.
+struct EdpRecord {
+    enum class Kind {
+        Param,       ///< P line: param_name + number
+        Repetition,  ///< REP line: index
+        WallTime,    ///< WALL line: number
+        RankBegin,   ///< RANK line: index (opens a new rank block)
+        Mark,        ///< M line: mark (inside the current rank block)
+        Event,       ///< E line: event (inside the current rank block)
+        End,         ///< END line: end of the profile
+    };
+
+    Kind kind = Kind::End;
+    std::string param_name;        ///< Param
+    double number = 0.0;           ///< Param value / WallTime
+    int index = 0;                 ///< Repetition / RankBegin rank id
+    trace::NvtxMark mark;          ///< Mark
+    trace::TraceEvent event;       ///< Event
+};
+
+/// Pull-based, record-at-a-time EDP reader: the single implementation of
+/// the EDP grammar and of the strict/tolerant Diagnostic contract.
+/// read_edp() is a thin fold over this class (materialising the records
+/// into a ProfiledRun), and the streaming ingestion path consumes the same
+/// records without ever materialising a full run — so the two paths are
+/// equivalent by construction (see DESIGN.md §13).
+///
+/// Memory behaviour: the reader holds one input line, one record, and the
+/// set of rank ids seen so far. It never buffers events or marks, so its
+/// footprint is independent of the profile size.
+///
+/// Usage:
+///
+///   EdpStreamReader reader(is, options);
+///   EdpRecord rec;
+///   while (reader.next(rec)) { ...switch (rec.kind)... }
+///   // reader.diagnostics() now holds the full parse log.
+///
+/// Strict mode throws ParseError out of next() on the first problem.
+/// Tolerant mode records diagnostics instead and keeps going; malformed
+/// records are skipped (next() silently advances past them), and rank
+/// blocks whose RANK header is unusable are quarantined: their event/mark
+/// records are counted and summarised but never emitted. next() returns
+/// false once the input is exhausted; the final structural diagnostics
+/// (missing END, trailing data after END) are recorded before the End
+/// record / the terminating false is returned.
+///
+/// Mark and Event records are only ever emitted between a RankBegin and the
+/// next RankBegin/End, so a consumer may attribute them to the most recent
+/// RankBegin without further checks.
+class EdpStreamReader {
+public:
+    explicit EdpStreamReader(std::istream& is, const EdpReadOptions& options);
+
+    EdpStreamReader(const EdpStreamReader&) = delete;
+    EdpStreamReader& operator=(const EdpStreamReader&) = delete;
+
+    /// Advances to the next record. Returns false at end of input. In
+    /// strict mode throws ParseError on the first malformed construct.
+    bool next(EdpRecord& out);
+
+    /// Diagnostics collected so far (complete once next() returned false or
+    /// the End record was emitted).
+    const DiagnosticLog& diagnostics() const { return log_; }
+
+    /// Moves the collected diagnostics out (for result assembly).
+    DiagnosticLog take_diagnostics() { return std::move(log_); }
+
+    /// True once the END record has been consumed.
+    bool saw_end() const { return saw_end_; }
+
+    /// True if no Error-severity diagnostic was recorded so far; mirrors
+    /// EdpReadResult::ok().
+    bool ok() const { return !log_.has_errors(); }
+
+    /// 1-based line number of the most recently read input line.
+    long long line_no() const { return line_no_; }
+
+private:
+    enum class Stage { Header, Body, Done };
+
+    bool read_line();
+    /// Parses fields_ into `out`; returns true if a record was emitted.
+    /// Throws ParseError on malformed content.
+    bool process_fields(EdpRecord& out);
+    void finish_truncated();
+    void finish_after_end();
+    void flush_skipped();
+    void count_skipped();
+    int current_rank() const {
+        return rank_usable_ ? current_rank_ : -1;
+    }
+    void warn(std::string reason, long long line, int rank = -1) {
+        log_.add(Severity::Warning, std::move(reason), line, rank);
+    }
+
+    std::istream& is_;
+    ParseMode mode_;
+    DiagnosticLog log_;
+    Stage stage_ = Stage::Header;
+    std::string line_;
+    std::vector<std::string> fields_;
+    bool have_pending_line_ = false;  ///< reprocess line_ (headerless file)
+    std::set<int> seen_ranks_;
+    bool rank_usable_ = false;  ///< a usable RANK block is open
+    int current_rank_ = -1;
+    long long line_no_ = 0;
+    bool saw_end_ = false;
+    /// Quarantine bookkeeping (see read_edp's historical ParseState).
+    std::size_t skipped_records_ = 0;
+    long long skip_start_line_ = -1;
+};
+
+}  // namespace extradeep::profiling

@@ -1,0 +1,431 @@
+// Differential harness for out-of-core ingestion: streaming ingest
+// (IngestOptions::streaming) must be *bit-identical* to the materialising
+// path — same aggregates down to the last mantissa bit, same diagnostic
+// sequence, same counts — on clean corpora, on every fault-injection
+// mutator at several seeds, in strict and tolerant mode, at every thread
+// count. Plus the memory-ceiling regression test: streaming a corpus of
+// hundreds of MB must neither materialise any run (proven via
+// ingest_counters) nor grow peak RSS by more than a fixed budget.
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "extradeep/ingest.hpp"
+#include "fault_injection.hpp"
+#include "profiling/edp_io.hpp"
+
+using namespace extradeep;
+using profiling::ProfiledRun;
+
+namespace {
+
+// The sanitizers' shadow memory and quarantines make RSS accounting
+// meaningless and everything ~10x slower, so the ceiling test shrinks its
+// corpus and skips the RSS assertion under ASan (the which-path-ran proof
+// via ingest_counters still runs).
+#if defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Self-cleaning scratch directory for corpus files.
+struct TempDir {
+    std::string path;
+    TempDir() {
+        char tmpl[] = "/tmp/extradeep-stream-test-XXXXXX";
+        if (mkdtemp(tmpl) == nullptr) {
+            throw Error("mkdtemp failed");
+        }
+        path = tmpl;
+    }
+    ~TempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+    std::string file(const std::string& name) const {
+        return path + "/" + name;
+    }
+};
+
+void write_text(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out) << path;
+    out << text;
+}
+
+std::string edp_text(const ProfiledRun& run) {
+    std::ostringstream os;
+    profiling::write_edp(os, run);
+    return os.str();
+}
+
+/// A small coherent corpus: `configs` measurement points (x1 = 2, 4, ...)
+/// with `reps` repetitions each, one file per run, deterministic from
+/// `seed`. Returns the paths in an interleaved (non-grouped) order so
+/// grouping is exercised too.
+std::vector<std::string> write_corpus(const TempDir& dir, std::uint64_t seed,
+                                      int configs = 2, int reps = 2) {
+    Rng rng(seed);
+    std::vector<std::string> paths;
+    for (int rep = 0; rep < reps; ++rep) {
+        for (int c = 0; c < configs; ++c) {
+            const double x1 = 2.0 * (c + 1);
+            const ProfiledRun run =
+                edpfuzz::coherent_run(rng, {{"x1", x1}}, rep, 2);
+            const std::string path =
+                dir.file("c" + std::to_string(c) + "_r" + std::to_string(rep) +
+                         ".edp");
+            write_text(path, edp_text(run));
+            paths.push_back(path);
+        }
+    }
+    return paths;
+}
+
+void expect_bits(double a, double b, const std::string& what) {
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0)
+        << what << ": " << a << " vs " << b;
+}
+
+void expect_params_identical(const std::map<std::string, double>& a,
+                             const std::map<std::string, double>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    auto ia = a.begin();
+    auto ib = b.begin();
+    for (; ia != a.end(); ++ia, ++ib) {
+        EXPECT_EQ(ia->first, ib->first);
+        expect_bits(ia->second, ib->second, "param " + ia->first);
+    }
+}
+
+void expect_diagnostics_identical(const DiagnosticLog& a,
+                                  const DiagnosticLog& b) {
+    EXPECT_EQ(a.total(), b.total());
+    EXPECT_EQ(a.count(Severity::Info), b.count(Severity::Info));
+    EXPECT_EQ(a.count(Severity::Warning), b.count(Severity::Warning));
+    EXPECT_EQ(a.count(Severity::Error), b.count(Severity::Error));
+    ASSERT_EQ(a.entries().size(), b.entries().size());
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+        const Diagnostic& da = a.entries()[i];
+        const Diagnostic& db = b.entries()[i];
+        EXPECT_EQ(da.severity, db.severity) << "diag " << i;
+        EXPECT_EQ(da.line, db.line) << "diag " << i;
+        EXPECT_EQ(da.rank, db.rank) << "diag " << i;
+        EXPECT_EQ(da.reason, db.reason) << "diag " << i;
+    }
+}
+
+/// The differential core: every field of the two ingest results, bitwise.
+void expect_results_identical(const IngestResult& a, const IngestResult& b) {
+    EXPECT_EQ(a.runs_total, b.runs_total);
+    EXPECT_EQ(a.runs_kept, b.runs_kept);
+    EXPECT_EQ(a.configs_total, b.configs_total);
+    EXPECT_EQ(a.configs_kept, b.configs_kept);
+    EXPECT_EQ(a.summary(), b.summary());
+    expect_diagnostics_identical(a.diagnostics, b.diagnostics);
+
+    EXPECT_EQ(a.data.primary_parameter(), b.data.primary_parameter());
+    ASSERT_EQ(a.data.configs().size(), b.data.configs().size());
+    for (std::size_t c = 0; c < a.data.configs().size(); ++c) {
+        const auto& ca = a.data.configs()[c];
+        const auto& cb = b.data.configs()[c];
+        const std::string where = "config " + std::to_string(c);
+        expect_params_identical(ca.params, cb.params);
+        EXPECT_EQ(ca.repetitions, cb.repetitions) << where;
+        ASSERT_EQ(ca.kernels.size(), cb.kernels.size()) << where;
+        for (std::size_t k = 0; k < ca.kernels.size(); ++k) {
+            const auto& ka = ca.kernels[k];
+            const auto& kb = cb.kernels[k];
+            const std::string kw = where + " kernel " + ka.name;
+            EXPECT_EQ(ka.name, kb.name) << where;
+            EXPECT_EQ(ka.category, kb.category) << kw;
+            EXPECT_EQ(ka.ranks_seen, kb.ranks_seen) << kw;
+            EXPECT_EQ(ka.reps_seen, kb.reps_seen) << kw;
+            for (int m = 0; m < aggregation::kMetricCount; ++m) {
+                expect_bits(ka.train[m], kb.train[m], kw + " train");
+                expect_bits(ka.val[m], kb.val[m], kw + " val");
+            }
+        }
+        for (int p = 0; p < trace::kPhaseCount; ++p) {
+            for (int m = 0; m < aggregation::kMetricCount; ++m) {
+                expect_bits(ca.phase_train[p][m], cb.phase_train[p][m],
+                            where + " phase_train");
+                expect_bits(ca.phase_val[p][m], cb.phase_val[p][m],
+                            where + " phase_val");
+            }
+        }
+    }
+}
+
+IngestResult ingest(const std::vector<std::string>& paths, bool streaming,
+                    int threads = 1,
+                    ParseMode mode = ParseMode::Tolerant) {
+    IngestOptions options;
+    options.mode = mode;
+    options.streaming = streaming;
+    options.num_threads = threads;
+    return ingest_edp_files(paths, options);
+}
+
+double peak_rss_mb() {
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+TEST(StreamDifferential, CleanMultiConfigCorpus) {
+    const TempDir dir;
+    const auto paths = write_corpus(dir, 42, 3, 3);
+    const IngestResult mat = ingest(paths, false);
+    const IngestResult stream = ingest(paths, true);
+    EXPECT_GT(mat.configs_kept, 0u);
+    expect_results_identical(mat, stream);
+}
+
+TEST(StreamDifferential, EveryMutatorEverySeed) {
+    // One corpus file gets mutated per (mutator, seed); the others stay
+    // clean, so recovery around a poisoned file is compared too.
+    for (const auto& [name, mutate] : edpfuzz::mutators()) {
+        for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+            SCOPED_TRACE(name + " seed " + std::to_string(seed));
+            const TempDir dir;
+            auto paths = write_corpus(dir, seed);
+            // Deterministically pick and corrupt one file.
+            Rng rng(seed * 977 + 13);
+            const std::size_t victim =
+                static_cast<std::size_t>(rng.next_u64() % paths.size());
+            std::ifstream in(paths[victim], std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            in.close();
+            write_text(paths[victim], mutate(buf.str(), rng));
+
+            const IngestResult mat = ingest(paths, false);
+            const IngestResult stream = ingest(paths, true);
+            expect_results_identical(mat, stream);
+        }
+    }
+}
+
+TEST(StreamDifferential, StackedRandomMutations) {
+    // Multiple mutators stacked on multiple files: deep corruption, where
+    // tolerant recovery produces long diagnostic transcripts. The streaming
+    // transcript must match entry for entry.
+    for (const std::uint64_t seed : {10u, 20u, 30u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const TempDir dir;
+        auto paths = write_corpus(dir, seed, 2, 3);
+        Rng rng(seed);
+        for (std::size_t i = 0; i < paths.size(); i += 2) {
+            std::ifstream in(paths[i], std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            in.close();
+            write_text(paths[i], edpfuzz::apply_random_mutations(
+                                     buf.str(), rng, 3));
+        }
+        const IngestResult mat = ingest(paths, false);
+        const IngestResult stream = ingest(paths, true);
+        expect_results_identical(mat, stream);
+    }
+}
+
+TEST(StreamDifferential, StrictModeThrowsIdentically) {
+    for (const auto& [name, mutate] : edpfuzz::mutators()) {
+        for (const std::uint64_t seed : {5u, 6u}) {
+            SCOPED_TRACE(name + " seed " + std::to_string(seed));
+            const TempDir dir;
+            auto paths = write_corpus(dir, seed);
+            Rng rng(seed * 31 + 7);
+            std::ifstream in(paths[0], std::ios::binary);
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            in.close();
+            write_text(paths[0], mutate(buf.str(), rng));
+
+            std::string mat_error = "(no throw)";
+            std::string stream_error = "(no throw)";
+            try {
+                ingest(paths, false, 1, ParseMode::Strict);
+            } catch (const Error& e) {
+                mat_error = e.what();
+            }
+            try {
+                ingest(paths, true, 1, ParseMode::Strict);
+            } catch (const Error& e) {
+                stream_error = e.what();
+            }
+            EXPECT_EQ(mat_error, stream_error);
+        }
+    }
+}
+
+TEST(StreamDifferential, ThreadCountsAllBitIdentical) {
+    // Both paths, three thread counts, one mutated file: all six results
+    // must equal the single-threaded materialising reference.
+    const TempDir dir;
+    auto paths = write_corpus(dir, 77, 3, 2);
+    Rng rng(99);
+    std::ifstream in(paths[2], std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    in.close();
+    write_text(paths[2], edpfuzz::corrupt_number(buf.str(), rng));
+
+    const IngestResult reference = ingest(paths, false, 1);
+    for (const bool streaming : {false, true}) {
+        for (const int threads : {2, 4}) {
+            SCOPED_TRACE(std::string(streaming ? "stream" : "mat") +
+                         " threads " + std::to_string(threads));
+            expect_results_identical(reference,
+                                     ingest(paths, streaming, threads));
+        }
+    }
+    expect_results_identical(reference, ingest(paths, true, 1));
+}
+
+TEST(StreamDifferential, IngestRunsInMemoryEquivalence) {
+    // The streaming flag also covers pre-grouped in-memory runs (no
+    // materialising copies of kept runs); results must match, including a
+    // dropped repetition.
+    Rng rng(8);
+    std::vector<std::vector<ProfiledRun>> configs;
+    for (const double x1 : {2.0, 4.0, 8.0}) {
+        std::vector<ProfiledRun> reps;
+        for (int rep = 0; rep < 3; ++rep) {
+            reps.push_back(edpfuzz::coherent_run(rng, {{"x1", x1}}, rep, 2));
+        }
+        configs.push_back(std::move(reps));
+    }
+    configs[1][2].ranks.clear();  // dropped by validation in both paths
+
+    IngestOptions options;
+    const IngestResult mat = ingest_runs(configs, options);
+    options.streaming = true;
+    const IngestResult stream = ingest_runs(configs, options);
+    EXPECT_EQ(mat.runs_kept, 8u);
+    expect_results_identical(mat, stream);
+}
+
+namespace {
+
+/// Writes a large single-configuration EDP file by amplifying one coherent
+/// rank: `n_ranks` copies of the rank block (distinct rank ids), each event
+/// line repeated `event_repeat` times. Streams straight to disk, so
+/// generation itself needs O(one small run) memory.
+std::uintmax_t write_amplified_file(const std::string& path,
+                                    std::uint64_t seed, int repetition,
+                                    int n_ranks, int event_repeat) {
+    Rng rng(seed);
+    const ProfiledRun base =
+        edpfuzz::coherent_run(rng, {{"x1", 8.0}}, repetition, 1);
+    const std::string text = edp_text(base);
+
+    // Split into header lines / first rank block lines / END.
+    std::vector<std::string> header;
+    std::vector<std::string> block;
+    std::istringstream is(text);
+    std::string line;
+    bool in_block = false;
+    while (std::getline(is, line)) {
+        if (line.rfind("RANK\t", 0) == 0) {
+            in_block = true;
+            continue;  // re-emitted per amplified rank below
+        }
+        if (line == "END") {
+            break;
+        }
+        (in_block ? block : header).push_back(line);
+    }
+
+    std::ofstream out(path, std::ios::binary);
+    for (const auto& h : header) {
+        out << h << "\n";
+    }
+    for (int r = 0; r < n_ranks; ++r) {
+        out << "RANK\t" << r << "\n";
+        for (const auto& b : block) {
+            const int repeat = b.rfind("E\t", 0) == 0 ? event_repeat : 1;
+            for (int i = 0; i < repeat; ++i) {
+                out << b << "\n";
+            }
+        }
+    }
+    out << "END\n";
+    out.close();
+    return std::filesystem::file_size(path);
+}
+
+}  // namespace
+
+TEST(StreamMemoryCeiling, LargeCorpusStaysUnderBudget) {
+    // Corpus: 3 repetitions of one configuration, amplified to hundreds of
+    // MB total (a few MB under sanitizers). Streaming ingest must (a) never
+    // take the materialising path — proven by the process-wide counters —
+    // and (b) keep its peak-RSS growth bounded by the largest rank block,
+    // orders of magnitude below the corpus size.
+    const int n_ranks = kSanitized ? 4 : 24;
+    const int event_repeat = kSanitized ? 40 : 3200;
+    const TempDir dir;
+    std::vector<std::string> paths;
+    std::uintmax_t total_bytes = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        const std::string path = dir.file("big_r" + std::to_string(rep) +
+                                          ".edp");
+        total_bytes +=
+            write_amplified_file(path, 1000 + rep, rep, n_ranks, event_repeat);
+        paths.push_back(path);
+    }
+    const double total_mb =
+        static_cast<double>(total_bytes) / (1024.0 * 1024.0);
+    if (!kSanitized) {
+        ASSERT_GE(total_mb, 200.0)
+            << "corpus too small to prove an out-of-core ceiling";
+    }
+
+    const IngestCounters before = ingest_counters();
+    const double rss_before = peak_rss_mb();
+    const IngestResult result = ingest(paths, true);
+    const double rss_delta = peak_rss_mb() - rss_before;
+    const IngestCounters after = ingest_counters();
+
+    EXPECT_EQ(result.configs_kept, 1u);
+    EXPECT_EQ(result.runs_kept, 3u);
+    EXPECT_TRUE(result.diagnostics.empty()) << result.summary();
+
+    // The materialising path must not have run: every file was digested by
+    // the streaming reader, none was parsed into an in-memory ProfiledRun.
+    EXPECT_EQ(after.files_streamed - before.files_streamed, paths.size());
+    EXPECT_EQ(after.runs_materialized - before.runs_materialized, 0u);
+
+    if (!kSanitized) {
+        // Hard ceiling: far below both the corpus (> 200 MB) and what
+        // materialising even a single repetition would need. The budget has
+        // ~10x headroom over the observed ~6 MB rank-block working set.
+        EXPECT_LE(rss_delta, 64.0)
+            << "streaming ingest peak-RSS delta " << rss_delta
+            << " MB over a " << total_mb << " MB corpus";
+    }
+}
