@@ -1,0 +1,82 @@
+#include "fleet/spool.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace extradeep::fleet {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_edp_extension(const std::string& name) {
+    constexpr const char kExt[] = ".edp";
+    constexpr std::size_t kExtLen = sizeof(kExt) - 1;
+    return name.size() > kExtLen &&
+           name.compare(name.size() - kExtLen, kExtLen, kExt) == 0;
+}
+
+}  // namespace
+
+bool valid_experiment_name(const std::string& name) {
+    if (name.empty() || name.size() > 128) {
+        return false;
+    }
+    return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+        return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+               (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    });
+}
+
+SpoolScanner::SpoolScanner(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<SpoolFile> SpoolScanner::scan() {
+    std::vector<SpoolFile> fresh;
+    std::error_code ec;
+    if (dir_.empty() || !fs::is_directory(dir_, ec)) {
+        return fresh;
+    }
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+        const std::string experiment = entry.path().filename().string();
+        if (!experiment.empty() && experiment.front() == '.') {
+            continue;
+        }
+        std::error_code sub_ec;
+        if (!entry.is_directory(sub_ec)) {
+            ++skipped_;  // top-level stray file: layout violation
+            continue;
+        }
+        if (!valid_experiment_name(experiment)) {
+            ++skipped_;
+            continue;
+        }
+        for (const auto& file : fs::directory_iterator(entry.path(), sub_ec)) {
+            const std::string filename = file.path().filename().string();
+            if (filename.empty() || filename.front() == '.' ||
+                !has_edp_extension(filename)) {
+                continue;  // dotfiles and in-progress writes (*.tmp)
+            }
+            if (!file.is_regular_file(sub_ec)) {
+                continue;
+            }
+            std::string path = file.path().string();
+            if (seen_.count(path) != 0) {
+                continue;
+            }
+            fresh.push_back(SpoolFile{experiment, std::move(path)});
+        }
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [](const SpoolFile& a, const SpoolFile& b) {
+                  if (a.experiment != b.experiment) {
+                      return a.experiment < b.experiment;
+                  }
+                  return a.path < b.path;
+              });
+    for (const auto& f : fresh) {
+        seen_.insert(f.path);
+    }
+    return fresh;
+}
+
+}  // namespace extradeep::fleet

@@ -297,6 +297,8 @@ std::string_view query_kind_name(QueryKind kind) {
         case QueryKind::Metrics: return "metrics";
         case QueryKind::Ping: return "ping";
         case QueryKind::Reload: return "reload";
+        case QueryKind::Ingest: return "ingest";
+        case QueryKind::FleetStats: return "fleet_stats";
         case QueryKind::Other: return "other";
     }
     throw InvalidArgumentError("query_kind_name: unknown kind");
@@ -351,10 +353,56 @@ QueryEngine::QueryEngine(std::shared_ptr<ModelRegistry> registry,
             "extradeep_serve_query_latency_us",
             obs::MetricsRegistry::default_latency_buckets_us(), "kind", kind);
     }
+    // Per-shard registry entry counts, refreshed by the `metrics` verb so
+    // fleet hot-swap growth and hash skew are visible in the exposition.
+    for (std::size_t s = 0; s < ModelRegistry::kShardCount; ++s) {
+        std::string label = std::to_string(s);
+        if (label.size() < 2) {
+            label.insert(label.begin(), '0');
+        }
+        shard_gauges_[s] = &metrics_.gauge(
+            "extradeep_serve_registry_shard_entries", "shard", label);
+    }
+}
+
+void QueryEngine::set_fleet_handler(std::shared_ptr<FleetHandler> handler) {
+    if (!handler) {
+        throw InvalidArgumentError("set_fleet_handler: null handler");
+    }
+    if (fleet_) {
+        throw InvalidArgumentError(
+            "set_fleet_handler: a fleet handler is already attached");
+    }
+    fleet_ = std::move(handler);
+    fleet_->attach_metrics(metrics_);
 }
 
 std::string QueryEngine::dispatch(const std::string& request,
                                   QueryKind& kind) {
+    // `ingest` is routed before tokenisation: its payload is the rest of
+    // the line verbatim (escaped EDP bytes legitimately contain spaces and
+    // tabs, which the space-splitting grammar would mangle).
+    if (request == "ingest" || request.rfind("ingest ", 0) == 0) {
+        kind = QueryKind::Ingest;
+        const std::size_t name_start = request.find_first_not_of(' ', 6);
+        const std::size_t name_end = name_start == std::string::npos
+                                         ? std::string::npos
+                                         : request.find(' ', name_start);
+        if (name_start == std::string::npos || name_end == std::string::npos ||
+            request.find_first_not_of(' ', name_end) == std::string::npos) {
+            throw InvalidArgumentError(
+                "usage: ingest <experiment> <escaped-edp-payload>");
+        }
+        if (!fleet_) {
+            throw InvalidArgumentError("fleet mode disabled");
+        }
+        const std::string experiment =
+            request.substr(name_start, name_end - name_start);
+        // The payload starts after exactly one separating space; any
+        // further leading spaces belong to the payload bytes.
+        return "ok " + fleet_->handle_ingest(experiment,
+                                             request.substr(name_end + 1));
+    }
     const std::vector<std::string> tokens = split_spaces(request);
     if (tokens.empty()) {
         kind = QueryKind::Other;
@@ -409,7 +457,24 @@ std::string QueryEngine::dispatch(const std::string& request,
         if (!args.empty()) {
             throw InvalidArgumentError("usage: metrics");
         }
+        const auto shard_sizes = registry_->shard_sizes();
+        for (std::size_t s = 0; s < ModelRegistry::kShardCount; ++s) {
+            shard_gauges_[s]->set(static_cast<double>(shard_sizes[s]));
+        }
+        if (fleet_) {
+            fleet_->update_metrics();
+        }
         return "ok " + escape_lines(metrics_.exposition());
+    }
+    if (cmd == "fleet-stats") {
+        kind = QueryKind::FleetStats;
+        if (!args.empty()) {
+            throw InvalidArgumentError("usage: fleet-stats");
+        }
+        if (!fleet_) {
+            throw InvalidArgumentError("fleet mode disabled");
+        }
+        return "ok " + fleet_->fleet_stats_line();
     }
     if (cmd == "reload") {
         kind = QueryKind::Reload;

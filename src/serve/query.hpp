@@ -27,10 +27,12 @@ enum class QueryKind {
     Metrics,
     Ping,
     Reload,
+    Ingest,
+    FleetStats,
     Other,
 };
 
-inline constexpr int kQueryKindCount = 13;
+inline constexpr int kQueryKindCount = 15;
 
 std::string_view query_kind_name(QueryKind kind);
 
@@ -48,6 +50,37 @@ struct QueryCounters {
 /// one response line per request.
 std::string escape_lines(const std::string& text);
 std::string unescape_lines(const std::string& text);
+
+/// Continuous-modeling hook of the serve protocol (src/fleet implements
+/// it). The engine stays decoupled from the fleet subsystem: it only knows
+/// how to route the two fleet verbs and when to refresh backlog gauges.
+/// Implementations must be thread-safe — the daemon calls them from any
+/// worker thread.
+class FleetHandler {
+public:
+    virtual ~FleetHandler() = default;
+
+    /// Handles one pushed run: `payload` is the escape_lines-encoded bytes
+    /// of a whole EDP profile, `experiment` the registry/model name the run
+    /// belongs to. Returns the response payload (rendered after "ok ").
+    /// Throws Error for rejected pushes (bad name, oversized payload,
+    /// quarantined run) — the engine maps it to an `err` line.
+    virtual std::string handle_ingest(const std::string& experiment,
+                                      const std::string& payload) = 0;
+
+    /// One-line fleet state for the `fleet-stats` verb (rendered after
+    /// "ok ").
+    virtual std::string fleet_stats_line() = 0;
+
+    /// Called once when the handler is attached to an engine: create the
+    /// fleet instruments (refit/swap counters, latency histograms, backlog
+    /// gauges) in the engine's metrics registry.
+    virtual void attach_metrics(obs::MetricsRegistry& metrics) = 0;
+
+    /// Called by the `metrics` verb before rendering the exposition:
+    /// refresh point-in-time gauges (pool backlog, staleness).
+    virtual void update_metrics() = 0;
+};
 
 /// Answers line-protocol queries against a model registry. This is the
 /// library API of the serving subsystem; the TCP daemon is a thin transport
@@ -69,6 +102,11 @@ std::string unescape_lines(const std::string& text);
 ///              e.g. `whatif m 16 interconnect:2+overlap:0.5`; see
 ///              advisor::parse_scenario for the transform grammar)
 ///   advise     <model> <x> [top]       (ranked what-if portfolio, top N)
+///   ingest     <experiment> <payload>  (push one EDP run into the fleet
+///              loop; payload = escape_lines(EDP bytes), taken verbatim to
+///              end of line. Requires an attached FleetHandler.)
+///   fleet-stats                        (continuous-modeling loop state;
+///              requires an attached FleetHandler)
 ///
 /// Responses are a single line: `ok <payload>` or `err <reason>`. All
 /// numbers are rendered with fmt::shortest, so answers are deterministic
@@ -82,6 +120,16 @@ public:
     /// sequences - daemon and library mode included.
     explicit QueryEngine(std::shared_ptr<ModelRegistry> registry,
                          const obs::Clock* clock = nullptr);
+
+    /// Attaches the continuous-modeling handler behind the `ingest` and
+    /// `fleet-stats` verbs (both answer `err fleet mode disabled` without
+    /// one) and creates its instruments in this engine's metrics registry.
+    /// Call before serving begins; attaching twice throws.
+    void set_fleet_handler(std::shared_ptr<FleetHandler> handler);
+
+    const std::shared_ptr<FleetHandler>& fleet_handler() const {
+        return fleet_;
+    }
 
     /// Executes one request line and returns the response line (without a
     /// trailing newline). Thread-safe.
@@ -104,11 +152,13 @@ private:
     std::string dispatch(const std::string& request, QueryKind& kind);
 
     std::shared_ptr<ModelRegistry> registry_;
+    std::shared_ptr<FleetHandler> fleet_;
     const obs::Clock* clock_;
     obs::MetricsRegistry metrics_;
     std::array<obs::Counter*, kQueryKindCount> request_counters_{};
     std::array<obs::Counter*, kQueryKindCount> error_counters_{};
     std::array<obs::Histogram*, kQueryKindCount> latency_histograms_{};
+    std::array<obs::Gauge*, ModelRegistry::kShardCount> shard_gauges_{};
     mutable std::mutex stats_mutex_;
     std::array<QueryCounters, kQueryKindCount> counters_{};
 };

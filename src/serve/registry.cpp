@@ -209,4 +209,14 @@ std::size_t ModelRegistry::size() const {
     return total;
 }
 
+std::array<std::size_t, ModelRegistry::kShardCount> ModelRegistry::shard_sizes()
+    const {
+    std::array<std::size_t, kShardCount> sizes{};
+    for (std::size_t i = 0; i < kShardCount; ++i) {
+        std::shared_lock lock(shards_[i].mutex);
+        sizes[i] = shards_[i].entries.size();
+    }
+    return sizes;
+}
+
 }  // namespace extradeep::serve

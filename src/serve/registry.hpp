@@ -76,6 +76,11 @@ public:
 
     std::size_t size() const;
 
+    /// Entry count of every shard, in shard-index order. The serve metrics
+    /// exposition publishes these as per-shard gauges so a skewed name hash
+    /// (all hot models contending on one shard lock) is visible at runtime.
+    std::array<std::size_t, kShardCount> shard_sizes() const;
+
 private:
     struct Entry {
         std::shared_ptr<const ServableModel> model;

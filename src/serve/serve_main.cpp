@@ -68,7 +68,9 @@ void usage(const char* argv0) {
                  "[REQUEST...]\n"
                  "REQUEST verbs: predict speedup efficiency cost search "
                  "whatif advise\n"
-                 "               list stats metrics ping reload shutdown\n",
+                 "               list stats metrics ping reload shutdown\n"
+                 "               ingest fleet-stats (extradeep-fleet serve "
+                 "only)\n",
                  argv0, argv0, argv0, argv0, argv0);
 }
 

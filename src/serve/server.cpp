@@ -249,7 +249,7 @@ void ServeDaemon::loop() {
         while (true) {
             const std::size_t nl = c.in.find('\n');
             if (nl == std::string::npos) {
-                if (c.in.size() > kMaxRequestLine) {
+                if (c.in.size() > options_.max_request_line) {
                     close_conn(id);  // oversized line: protocol violation
                     return false;
                 }
@@ -265,7 +265,7 @@ void ServeDaemon::loop() {
                 }
                 break;
             }
-            if (nl > kMaxRequestLine) {
+            if (nl > options_.max_request_line) {
                 close_conn(id);
                 return false;
             }

@@ -12,9 +12,11 @@
 
 namespace extradeep::serve {
 
-/// Longest accepted request line in bytes, terminator excluded. A line of
-/// exactly this length is served; one byte more is a protocol violation that
-/// terminates the connection (a legitimate request is always short).
+/// Default longest accepted request line in bytes, terminator excluded. A
+/// line of exactly this length is served; one byte more is a protocol
+/// violation that terminates the connection (a legitimate query request is
+/// always short). Overridable per daemon via ServerOptions::max_request_line
+/// for payload-carrying verbs (fleet `ingest`).
 inline constexpr std::size_t kMaxRequestLine = 1 << 16;
 
 struct ServerOptions {
@@ -38,6 +40,11 @@ struct ServerOptions {
     /// this many response bytes unflushed (a client that sends but never
     /// reads), the daemon stops reading from it until the buffer drains.
     std::size_t max_write_buffer = 1 << 20;
+    /// Longest accepted request line (terminator excluded); one byte more
+    /// is a protocol violation that closes the connection. The default
+    /// kMaxRequestLine covers every query verb; fleet daemons raise it so
+    /// an `ingest` line can carry a whole escaped EDP run as its payload.
+    std::size_t max_request_line = kMaxRequestLine;
 };
 
 /// Line-protocol TCP daemon over a QueryEngine.

@@ -1,0 +1,110 @@
+#include "sim/drift.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace extradeep::sim {
+
+std::string drift_kind_name(DriftKind kind) {
+    switch (kind) {
+        case DriftKind::None: return "none";
+        case DriftKind::HardwareDegrade: return "hw-degrade";
+        case DriftKind::SoftwareRegression: return "sw-regression";
+    }
+    throw InvalidArgumentError("drift_kind_name: unknown kind");
+}
+
+std::string DriftSpec::describe() const {
+    if (kind == DriftKind::None) {
+        return "none";
+    }
+    std::ostringstream os;
+    os << drift_kind_name(kind) << " x" << fmt::shortest(severity)
+       << " from run " << onset_run;
+    return os.str();
+}
+
+DriftSpec parse_drift(const std::string& spec) {
+    DriftSpec out;
+    if (spec == "none") {
+        out.kind = DriftKind::None;
+        return out;
+    }
+    std::string body;
+    if (spec.rfind("hw:", 0) == 0) {
+        out.kind = DriftKind::HardwareDegrade;
+        body = spec.substr(3);
+    } else if (spec.rfind("sw:", 0) == 0) {
+        out.kind = DriftKind::SoftwareRegression;
+        body = spec.substr(3);
+    } else {
+        throw InvalidArgumentError(
+            "drift spec must be none, hw:<severity>[@<onset>] or "
+            "sw:<severity>[@<onset>], got '" + spec + "'");
+    }
+    std::string severity_token = body;
+    const std::size_t at = body.find('@');
+    if (at != std::string::npos) {
+        severity_token = body.substr(0, at);
+        const std::string onset_token = body.substr(at + 1);
+        std::size_t used = 0;
+        int onset = 0;
+        try {
+            onset = std::stoi(onset_token, &used);
+        } catch (const std::exception&) {
+            used = 0;
+        }
+        if (onset_token.empty() || used != onset_token.size() || onset < 0) {
+            throw InvalidArgumentError("drift spec: bad onset '" +
+                                       onset_token + "'");
+        }
+        out.onset_run = onset;
+    }
+    double severity = 0.0;
+    if (!fmt::parse_double(severity_token, severity)) {
+        throw InvalidArgumentError("drift spec: bad severity '" +
+                                   severity_token + "'");
+    }
+    out.severity = severity;
+    if (!(out.severity >= 1.0)) {
+        throw InvalidArgumentError(
+            "drift spec: severity must be >= 1 (drift slows a fleet down)");
+    }
+    return out;
+}
+
+hw::SystemSpec apply_drift(const hw::SystemSpec& base, const DriftSpec& drift) {
+    if (!(drift.severity >= 1.0)) {
+        throw InvalidArgumentError(
+            "apply_drift: severity must be >= 1 (drift slows a fleet down)");
+    }
+    hw::SystemSpec out = base;
+    if (drift.kind == DriftKind::None || drift.severity == 1.0) {
+        return out;
+    }
+    const double s = drift.severity;
+    switch (drift.kind) {
+        case DriftKind::None:
+            break;
+        case DriftKind::HardwareDegrade:
+            // A sick fabric: every link moves bytes slower and costs more
+            // per message. Compute resources are untouched.
+            out.inter_node.bandwidth_gbs /= s;
+            out.inter_node.latency_s *= s;
+            out.intra_node.bandwidth_gbs /= s;
+            out.intra_node.latency_s *= s;
+            break;
+        case DriftKind::SoftwareRegression:
+            // A bad runtime rollout: kernels run at reduced throughput and
+            // each launch costs more. The network is untouched.
+            out.gpu.peak_fp32_tflops /= s;
+            out.gpu.mem_bandwidth_gbs /= s;
+            out.gpu.kernel_launch_overhead_s *= s;
+            break;
+    }
+    return out;
+}
+
+}  // namespace extradeep::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "hw/system.hpp"
+
+namespace extradeep::sim {
+
+/// Mid-stream fleet drift: a change in the underlying system that the
+/// continuous-modeling daemon (src/fleet) must track. Two regimes cover the
+/// ROADMAP's live-fleet scenario:
+///  - HardwareDegrade: the interconnect loses bandwidth and gains latency
+///    (failing links, congested fabric, a flaky switch) — communication
+///    kernels slow down, computation is untouched.
+///  - SoftwareRegression: a runtime/library update costs compute throughput
+///    and adds per-kernel launch overhead (a bad cuDNN pick, a debug build
+///    shipped to the fleet) — computation slows down, the network is
+///    untouched.
+enum class DriftKind { None, HardwareDegrade, SoftwareRegression };
+
+/// One injected change: what degrades, by how much, and (for run streams)
+/// from which run index onward. `severity` is a slowdown factor >= 1:
+/// severity 1 is the identity, 1.5 makes the affected resource 1.5x slower.
+struct DriftSpec {
+    DriftKind kind = DriftKind::None;
+    double severity = 1.5;
+    /// First run index (0-based, in stream order) produced under the
+    /// drifted system. Runs before it use the base system unchanged.
+    int onset_run = 0;
+
+    /// True for runs at or past the onset under a non-None kind.
+    bool active_at(int run_index) const {
+        return kind != DriftKind::None && run_index >= onset_run;
+    }
+
+    /// e.g. "hw-degrade x1.5 from run 12" / "none".
+    std::string describe() const;
+};
+
+/// Parses the drive/CLI grammar `none`, `hw:<severity>[@<onset>]` or
+/// `sw:<severity>[@<onset>]` (e.g. "hw:1.5@12"). Throws
+/// InvalidArgumentError on malformed specs or severity < 1.
+DriftSpec parse_drift(const std::string& spec);
+
+/// Stable token for DriftKind ("none" / "hw-degrade" / "sw-regression").
+std::string drift_kind_name(DriftKind kind);
+
+/// Applies the drift to a system description and returns the degraded spec.
+/// The identity for DriftKind::None or severity 1. Throws
+/// InvalidArgumentError if severity < 1 (drift only ever slows a fleet
+/// down; a speedup would be a deploy, not a fault).
+hw::SystemSpec apply_drift(const hw::SystemSpec& base, const DriftSpec& drift);
+
+}  // namespace extradeep::sim
