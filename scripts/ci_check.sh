@@ -13,53 +13,61 @@ cd "${repo_root}"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/11] Release build + full test suite =="
+echo "== [1/13] Release build + full test suite =="
 cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default -j "${jobs}"
 
-echo "== [2/11] Accuracy harness (quick suite + calibrated thresholds) =="
+echo "== [2/13] Accuracy harness (quick suite + calibrated thresholds) =="
 ./build/src/eval/extradeep-eval --quick \
     --thresholds "${repo_root}/eval_thresholds.json"
 
-echo "== [3/11] Performance gate: ingest + fitter throughput floors =="
+echo "== [3/13] Performance gate: ingest + fitter throughput floors =="
 ./build/bench/extradeep-perf --quick \
     --thresholds "${repo_root}/perf_thresholds.json"
 
-echo "== [4/11] What-if advisor gate: predictions vs re-simulation =="
+echo "== [4/13] What-if advisor gate: predictions vs re-simulation =="
 ./build/src/advisor/extradeep-advisor --quick \
     --thresholds "${repo_root}/whatif_thresholds.json"
 
-echo "== [5/11] Fleet drift gate: continuous re-fit vs injected drift =="
+echo "== [5/13] Fleet drift gate: continuous re-fit vs injected drift =="
 ./build/src/fleet/extradeep-fleet --quick \
     --thresholds "${repo_root}/fleet_thresholds.json"
 
-echo "== [6/11] Serving smoke: fit -> .edpm -> daemon -> client =="
+echo "== [6/13] Plan gate: adaptive planner vs fixed-grid budget =="
+./build/src/planner/extradeep-plan --quick \
+    --thresholds "${repo_root}/plan_thresholds.json"
+
+echo "== [7/13] Serving smoke: fit -> .edpm -> daemon -> client =="
 scripts/serve_smoke.sh ./build/src/serve/extradeep-serve
 
-echo "== [7/11] Serve-plane load gate: loadgen vs serve_thresholds.json =="
+echo "== [8/13] Serve-plane load gate: loadgen vs serve_thresholds.json =="
 ./build/src/serve/extradeep-serve loadgen --self --connections 8 \
     --requests 200 --pipeline 8 --mode both \
     --thresholds "${repo_root}/serve_thresholds.json"
 
-echo "== [8/11] Fleet smoke: ingest + spool -> refit -> hot swap =="
+echo "== [9/13] Fleet smoke: ingest + spool -> refit -> hot swap =="
 scripts/fleet_smoke.sh ./build/src/fleet/extradeep-fleet
 
-echo "== [9/11] Observability smoke: traced fit, validated artifacts =="
+echo "== [10/13] Observability smoke: traced fit, validated artifacts =="
 scripts/obs_smoke.sh ./build/src/serve/extradeep-serve \
     ./build/src/eval/extradeep-eval
 
+echo "== [11/13] Planner smoke: metrics, plan JSON, serve plan verb =="
+scripts/plan_smoke.sh ./build/src/planner/extradeep-plan \
+    ./build/src/serve/extradeep-serve ./build/src/eval/extradeep-eval
+
 if [[ "${SKIP_SANITIZE:-0}" != "1" ]]; then
-    echo "== [10/11] ASan+UBSan build + sanitize_smoke suite =="
+    echo "== [12/13] ASan+UBSan build + sanitize_smoke suite =="
     cmake --preset sanitize
     cmake --build --preset sanitize -j "${jobs}"
     ctest --preset sanitize-smoke -j "${jobs}"
 
-    echo "== [11/11] Accuracy harness under sanitizers =="
+    echo "== [13/13] Accuracy harness under sanitizers =="
     ./build-sanitize/src/eval/extradeep-eval --quick \
         --thresholds "${repo_root}/eval_thresholds.json"
 else
-    echo "== [10-11/11] skipped (SKIP_SANITIZE=1) =="
+    echo "== [12-13/13] skipped (SKIP_SANITIZE=1) =="
 fi
 
 echo "ci_check: all green"

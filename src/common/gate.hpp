@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace extradeep::gate {
+
+/// Shared threshold-gate core. The regression gates (eval accuracy, perf
+/// throughput, what-if advisor, fleet drift, serve load, plan budget) all
+/// enforce the same "rules match samples" semantics: wildcard scope "*",
+/// wildcard noise (negative), optional min/max bounds, and the
+/// unmatched-rule-is-a-violation guard - a renamed metric or removed case
+/// must not silently disable its threshold. This is the single
+/// implementation; the per-gate front-ends map their record types onto
+/// Sample and render Violation into their established message strings.
+
+/// One measured data point a gate rule can match.
+struct Sample {
+    std::string scope;      ///< case name / loadgen mode / plan case
+    double noise = -1.0;    ///< noise level; negative = not applicable
+    std::string metric;
+    double value = 0.0;
+};
+
+/// One gate rule. `scope` may be "*" (match any sample scope); `noise` may
+/// be negative (match any noise level). At least one of min/max is set by
+/// every parsed rule unless the front-end's RuleDocSpec says otherwise.
+struct Rule {
+    std::string scope = "*";
+    double noise = -1.0;
+    std::string metric;
+    std::optional<double> min;
+    std::optional<double> max;
+};
+
+/// A structured gate violation. The indices point back into the rule and
+/// sample vectors handed to check_rules so front-ends can format messages
+/// in their own established style.
+struct Violation {
+    enum class Kind { BelowMin, AboveMax, Unmatched };
+    Kind kind = Kind::Unmatched;
+    std::size_t rule = 0;    ///< index into the rules vector
+    std::size_t sample = 0;  ///< index into samples (meaningless for Unmatched)
+    double bound = 0.0;      ///< the breached min/max (0 for Unmatched)
+};
+
+struct Outcome {
+    bool pass = true;
+    std::size_t rules_checked = 0;
+    /// Sum over rules of the number of samples each rule matched.
+    std::size_t samples_matched = 0;
+    std::vector<Violation> violations;
+};
+
+/// Checks every rule against every sample. Iteration is rule-major and
+/// sample-minor, and a sample breaching both bounds emits BelowMin before
+/// AboveMax, so violation order is stable and matches the historical gate
+/// output of every front-end. A rule that matched no sample at all yields
+/// one Unmatched violation.
+Outcome check_rules(const std::vector<Sample>& samples,
+                    const std::vector<Rule>& rules);
+
+/// Schema knobs for parse_rules, covering the dialect differences between
+/// the gate front-ends (eval-style thresholds vs serve-style load rules).
+struct RuleDocSpec {
+    std::string what = "thresholds JSON";  ///< error-message prefix
+    std::string array_key = "thresholds";  ///< top-level rule-array member
+    std::string scope_key = "case";        ///< per-rule scope member
+    bool parse_noise = true;               ///< accept a "noise" member
+    bool require_bound = true;             ///< each rule needs min or max
+    bool allow_empty = false;              ///< tolerate an empty rule array
+};
+
+/// Parses a rules document:
+///   {"<array_key>": [{"<scope_key>": "*", "noise": 0.0,
+///                     "metric": "exponent_recovery", "min": 1.0}, ...]}
+/// Throws ParseError (prefixed with spec.what) on malformed JSON, a missing
+/// rule array, non-string metric, non-number bounds, a rule without bounds
+/// when spec.require_bound, or an empty array unless spec.allow_empty.
+std::vector<Rule> parse_rules(const std::string& json_text,
+                              const RuleDocSpec& spec);
+
+}  // namespace extradeep::gate

@@ -1,0 +1,53 @@
+#include "eval/measurement.hpp"
+
+#include <utility>
+
+#include "aggregation/aggregate.hpp"
+#include "common/error.hpp"
+
+namespace extradeep::eval {
+
+double MeasurementSource::run_cost(std::size_t) const { return 1.0; }
+
+OracleMeasurementSource::OracleMeasurementSource(OracleCase oracle,
+                                                 MaterializeOptions options)
+    : oracle_(std::move(oracle)), options_(options) {
+    if (oracle_.points.empty()) {
+        throw InvalidArgumentError(
+            "OracleMeasurementSource: oracle case has no measurement points");
+    }
+}
+
+std::size_t OracleMeasurementSource::num_configs() const {
+    return oracle_.points.size();
+}
+
+const std::vector<double>& OracleMeasurementSource::point(
+    std::size_t config) const {
+    if (config >= oracle_.points.size()) {
+        throw InvalidArgumentError(
+            "OracleMeasurementSource: config index out of range");
+    }
+    return oracle_.points[config];
+}
+
+const std::vector<std::string>& OracleMeasurementSource::param_names() const {
+    return oracle_.truth.param_names();
+}
+
+double OracleMeasurementSource::measure(std::size_t config, int repetition) {
+    const profiling::ProfiledRun run =
+        materialize_run(oracle_, config, repetition, options_);
+    const std::vector<profiling::ProfiledRun> runs = {run};
+    const aggregation::ConfigurationData data =
+        aggregation::aggregate_runs(runs);
+    const aggregation::KernelStats* kernel = data.find_kernel(kOracleKernel);
+    if (kernel == nullptr) {
+        throw Error("OracleMeasurementSource: oracle kernel missing from '" +
+                    oracle_.name + "' config " + std::to_string(config));
+    }
+    ++runs_materialized_;
+    return kernel->train_metric(aggregation::Metric::Time);
+}
+
+}  // namespace extradeep::eval

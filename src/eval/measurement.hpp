@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/oracle.hpp"
+
+namespace extradeep::eval {
+
+/// A backend the adaptive profiling planner (src/planner) pulls
+/// measurements from. One measure() call stands for profiling ONE run (one
+/// repetition of one candidate configuration) - the unit the planner's
+/// budget counts. Implementations must be deterministic: the same (config,
+/// repetition) pair always yields the same value, so plans are
+/// bit-reproducible and independent of pull order.
+class MeasurementSource {
+public:
+    virtual ~MeasurementSource() = default;
+
+    /// Number of candidate configurations (arms).
+    virtual std::size_t num_configs() const = 0;
+
+    /// Parameter values of configuration `config` (one per parameter).
+    virtual const std::vector<double>& point(std::size_t config) const = 0;
+
+    /// Parameter names, in point() order.
+    virtual const std::vector<std::string>& param_names() const = 0;
+
+    /// Profiles repetition `repetition` of configuration `config` and
+    /// returns the aggregated metric value (the oracle kernel's train-step
+    /// time for the oracle backend). Throws on out-of-range config.
+    virtual double measure(std::size_t config, int repetition) = 0;
+
+    /// Budget cost of one measure() call at `config`, in profiled runs.
+    /// The oracle backend charges 1 per run; a real cluster backend could
+    /// charge by node-hours instead.
+    virtual double run_cost(std::size_t config) const;
+};
+
+/// Reuses the eval oracle as a measurement backend: measure() materialises
+/// one repetition with the same seeded noise streams the accuracy harness
+/// uses (materialize_run), aggregates it, and returns the oracle kernel's
+/// train-step time. Pulling repetitions 0..reps-1 of every configuration
+/// therefore reproduces the fixed-grid harness data exactly - planner
+/// savings are measured against an identical noise realisation, not a
+/// luckier one.
+class OracleMeasurementSource final : public MeasurementSource {
+public:
+    OracleMeasurementSource(OracleCase oracle, MaterializeOptions options);
+
+    std::size_t num_configs() const override;
+    const std::vector<double>& point(std::size_t config) const override;
+    const std::vector<std::string>& param_names() const override;
+    double measure(std::size_t config, int repetition) override;
+
+    const OracleCase& oracle() const { return oracle_; }
+    const MaterializeOptions& options() const { return options_; }
+
+    /// Total measure() calls served - the proof-of-work counter the planner
+    /// tests check against the reported budget.
+    std::size_t runs_materialized() const { return runs_materialized_; }
+
+private:
+    OracleCase oracle_;
+    MaterializeOptions options_;
+    std::size_t runs_materialized_ = 0;
+};
+
+}  // namespace extradeep::eval

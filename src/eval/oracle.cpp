@@ -131,24 +131,28 @@ std::uint64_t case_name_hash(const std::string& name) {
     return h;
 }
 
-std::vector<profiling::ProfiledRun> materialize_config(
-    const OracleCase& oracle, std::size_t config_index,
-    const MaterializeOptions& options) {
+profiling::ProfiledRun materialize_run(const OracleCase& oracle,
+                                       std::size_t config_index,
+                                       int repetition,
+                                       const MaterializeOptions& options) {
     if (config_index >= oracle.points.size()) {
-        throw InvalidArgumentError("materialize_config: config index out of range");
+        throw InvalidArgumentError("materialize_run: config index out of range");
     }
     if (oracle.repetitions < 1 || oracle.ranks < 1 || oracle.train_steps < 1) {
-        throw InvalidArgumentError("materialize_config: degenerate case shape");
+        throw InvalidArgumentError("materialize_run: degenerate case shape");
+    }
+    if (repetition < 0) {
+        throw InvalidArgumentError("materialize_run: negative repetition");
     }
     const std::vector<double>& point = oracle.points[config_index];
     if (point.size() != oracle.num_params()) {
         throw InvalidArgumentError(
-            "materialize_config: point/parameter dimension mismatch");
+            "materialize_run: point/parameter dimension mismatch");
     }
     const double value = oracle.truth_value(point);
     if (!(value > 0.0)) {
         throw InvalidArgumentError(
-            "materialize_config: oracle '" + oracle.name +
+            "materialize_run: oracle '" + oracle.name +
             "' is non-positive at a grid point; runtimes must stay positive");
     }
     const double run_sigma = options.noise * options.run_share;
@@ -158,37 +162,44 @@ std::vector<profiling::ProfiledRun> materialize_config(
     const std::uint64_t case_seed =
         mix64(case_name_hash(oracle.name), options.seed);
 
+    const int rep = repetition;
+    Rng run_rng(mix64(case_seed, mix64(config_index, 1000003ULL *
+                                       static_cast<std::uint64_t>(rep))));
+    const double run_factor =
+        run_sigma > 0.0 ? run_rng.lognormal_factor(run_sigma) : 1.0;
+
+    profiling::ProfiledRun run;
+    for (std::size_t d = 0; d < point.size(); ++d) {
+        run.params[oracle.truth.param_names()[d]] = point[d];
+    }
+    run.repetition = rep;
+    double wall = 0.0;
+    for (int rank = 0; rank < oracle.ranks; ++rank) {
+        Rng step_rng = run_rng.fork(static_cast<std::uint64_t>(rank) + 17);
+        RankTrace tr;
+        tr.rank = rank;
+        double t = 0.1;  // initialisation before the first epoch
+        // Warm-up epoch: inflated values, later discarded by aggregation.
+        t = emit_epoch(tr, 0, t, 1, 0, value, 1.5, config_index == 0,
+                       run_factor, step_sigma, step_rng);
+        // Measured epoch.
+        t = emit_epoch(tr, 1, t, oracle.train_steps, oracle.val_steps,
+                       value, 1.0, config_index == 0, run_factor,
+                       step_sigma, step_rng);
+        wall = std::max(wall, t);
+        run.ranks.push_back(std::move(tr));
+    }
+    run.profiling_wall_time = wall;
+    return run;
+}
+
+std::vector<profiling::ProfiledRun> materialize_config(
+    const OracleCase& oracle, std::size_t config_index,
+    const MaterializeOptions& options) {
     std::vector<profiling::ProfiledRun> runs;
     runs.reserve(static_cast<std::size_t>(oracle.repetitions));
     for (int rep = 0; rep < oracle.repetitions; ++rep) {
-        Rng run_rng(mix64(case_seed, mix64(config_index, 1000003ULL *
-                                           static_cast<std::uint64_t>(rep))));
-        const double run_factor =
-            run_sigma > 0.0 ? run_rng.lognormal_factor(run_sigma) : 1.0;
-
-        profiling::ProfiledRun run;
-        for (std::size_t d = 0; d < point.size(); ++d) {
-            run.params[oracle.truth.param_names()[d]] = point[d];
-        }
-        run.repetition = rep;
-        double wall = 0.0;
-        for (int rank = 0; rank < oracle.ranks; ++rank) {
-            Rng step_rng = run_rng.fork(static_cast<std::uint64_t>(rank) + 17);
-            RankTrace tr;
-            tr.rank = rank;
-            double t = 0.1;  // initialisation before the first epoch
-            // Warm-up epoch: inflated values, later discarded by aggregation.
-            t = emit_epoch(tr, 0, t, 1, 0, value, 1.5, config_index == 0,
-                           run_factor, step_sigma, step_rng);
-            // Measured epoch.
-            t = emit_epoch(tr, 1, t, oracle.train_steps, oracle.val_steps,
-                           value, 1.0, config_index == 0, run_factor,
-                           step_sigma, step_rng);
-            wall = std::max(wall, t);
-            run.ranks.push_back(std::move(tr));
-        }
-        run.profiling_wall_time = wall;
-        runs.push_back(std::move(run));
+        runs.push_back(materialize_run(oracle, config_index, rep, options));
     }
     return runs;
 }

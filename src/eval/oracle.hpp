@@ -66,9 +66,22 @@ extern const char kOverheadKernel[];
 /// ">= 5 configurations" modelable-kernel filter must exclude.
 extern const char kSporadicKernel[];
 
+/// Materialises a single repetition of one measurement point - one profiled
+/// run (two epochs: warm-up + measured; one oracle event per step). Every
+/// repetition seeds its own independent noise stream from (case, seed,
+/// config, repetition), so materialize_config(c) is exactly
+/// {materialize_run(c, 0), ..., materialize_run(c, reps-1)} and an adaptive
+/// planner pulling runs one at a time observes byte-identical data to the
+/// fixed grid. `repetition` may exceed oracle.repetitions: extra pulls keep
+/// drawing fresh, deterministic repetitions.
+profiling::ProfiledRun materialize_run(const OracleCase& oracle,
+                                       std::size_t config_index,
+                                       int repetition,
+                                       const MaterializeOptions& options);
+
 /// Materialises the repetitions of one measurement point as in-memory
-/// profiled runs (two epochs: warm-up + measured; one oracle event per
-/// step). `config_index` selects the point and seeds the noise streams.
+/// profiled runs. `config_index` selects the point and seeds the noise
+/// streams.
 std::vector<profiling::ProfiledRun> materialize_config(
     const OracleCase& oracle, std::size_t config_index,
     const MaterializeOptions& options);

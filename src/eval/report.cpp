@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/format.hpp"
+#include "common/gate.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
 
@@ -92,60 +93,20 @@ std::string bench_json(const std::vector<MetricRecord>& records,
 }
 
 std::vector<Threshold> parse_thresholds(const std::string& json_text) {
-    const json::Value doc = json::parse(json_text, "thresholds JSON");
-    if (doc.kind != json::Value::Kind::Object) {
-        throw ParseError("thresholds JSON: top level must be an object");
-    }
-    const json::Value* list = doc.find("thresholds");
-    if (list == nullptr || list->kind != json::Value::Kind::Array) {
-        throw ParseError(
-            "thresholds JSON: missing \"thresholds\" array");
-    }
+    // Dialect and error-message prefix are the RuleDocSpec defaults; only the
+    // field names differ between gate::Rule and the public Threshold struct.
+    const std::vector<gate::Rule> rules =
+        gate::parse_rules(json_text, gate::RuleDocSpec{});
     std::vector<Threshold> out;
-    out.reserve(list->array.size());
-    for (const json::Value& entry : list->array) {
-        if (entry.kind != json::Value::Kind::Object) {
-            throw ParseError("thresholds JSON: rule must be an object");
-        }
+    out.reserve(rules.size());
+    for (const gate::Rule& rule : rules) {
         Threshold t;
-        if (const json::Value* v = entry.find("case")) {
-            if (v->kind != json::Value::Kind::String) {
-                throw ParseError("thresholds JSON: \"case\" must be a string");
-            }
-            t.case_name = v->string;
-        }
-        if (const json::Value* v = entry.find("noise")) {
-            if (v->kind != json::Value::Kind::Number) {
-                throw ParseError("thresholds JSON: \"noise\" must be a number");
-            }
-            t.noise = v->number;
-        }
-        const json::Value* metric = entry.find("metric");
-        if (metric == nullptr || metric->kind != json::Value::Kind::String ||
-            metric->string.empty()) {
-            throw ParseError("thresholds JSON: rule lacks a \"metric\" string");
-        }
-        t.metric = metric->string;
-        if (const json::Value* v = entry.find("min")) {
-            if (v->kind != json::Value::Kind::Number) {
-                throw ParseError("thresholds JSON: \"min\" must be a number");
-            }
-            t.min = v->number;
-        }
-        if (const json::Value* v = entry.find("max")) {
-            if (v->kind != json::Value::Kind::Number) {
-                throw ParseError("thresholds JSON: \"max\" must be a number");
-            }
-            t.max = v->number;
-        }
-        if (!t.min && !t.max) {
-            throw ParseError("thresholds JSON: rule for metric '" + t.metric +
-                             "' has neither \"min\" nor \"max\"");
-        }
+        t.case_name = rule.scope;
+        t.noise = rule.noise;
+        t.metric = rule.metric;
+        t.min = rule.min;
+        t.max = rule.max;
         out.push_back(std::move(t));
-    }
-    if (out.empty()) {
-        throw ParseError("thresholds JSON: empty thresholds array");
     }
     return out;
 }
@@ -162,42 +123,40 @@ std::vector<Threshold> load_thresholds_file(const std::string& path) {
 
 GateResult check_gate(const std::vector<MetricRecord>& records,
                       const std::vector<Threshold>& thresholds) {
-    GateResult result;
-    result.rules_checked = thresholds.size();
+    std::vector<gate::Sample> samples;
+    samples.reserve(records.size());
+    for (const MetricRecord& r : records) {
+        samples.push_back({r.case_name, r.noise, r.metric, r.value});
+    }
+    std::vector<gate::Rule> rules;
+    rules.reserve(thresholds.size());
     for (const Threshold& t : thresholds) {
-        std::size_t matched = 0;
-        for (const MetricRecord& r : records) {
-            if (r.metric != t.metric) {
-                continue;
-            }
-            if (t.case_name != "*" && t.case_name != r.case_name) {
-                continue;
-            }
-            if (t.noise >= 0.0 && std::abs(t.noise - r.noise) > 1e-12) {
-                continue;
-            }
-            ++matched;
-            std::ostringstream where;
-            where << r.case_name << " @ noise " << fmt::fixed(r.noise, 3)
-                  << ": " << r.metric << " = " << json::number(r.value);
-            if (t.min && r.value < *t.min) {
-                result.violations.push_back(where.str() + " < min " +
-                                            json::number(*t.min));
-            }
-            if (t.max && r.value > *t.max) {
-                result.violations.push_back(where.str() + " > max " +
-                                            json::number(*t.max));
-            }
-        }
-        if (matched == 0) {
+        rules.push_back({t.case_name, t.noise, t.metric, t.min, t.max});
+    }
+    const gate::Outcome outcome = gate::check_rules(samples, rules);
+
+    GateResult result;
+    result.pass = outcome.pass;
+    result.rules_checked = outcome.rules_checked;
+    result.records_matched = outcome.samples_matched;
+    for (const gate::Violation& v : outcome.violations) {
+        if (v.kind == gate::Violation::Kind::Unmatched) {
+            const Threshold& t = thresholds[v.rule];
             result.violations.push_back(
                 "threshold for metric '" + t.metric + "' (case " +
                 t.case_name + ") matched no record - the gate would be "
                 "silently disabled");
+            continue;
         }
-        result.records_matched += matched;
+        const MetricRecord& r = records[v.sample];
+        std::ostringstream where;
+        where << r.case_name << " @ noise " << fmt::fixed(r.noise, 3) << ": "
+              << r.metric << " = " << json::number(r.value);
+        result.violations.push_back(
+            where.str() +
+            (v.kind == gate::Violation::Kind::BelowMin ? " < min " : " > max ") +
+            json::number(v.bound));
     }
-    result.pass = result.violations.empty();
     return result;
 }
 

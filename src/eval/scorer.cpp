@@ -205,6 +205,49 @@ double fresh_observation(const OracleCase& oracle,
 
 }  // namespace
 
+ModelAccuracy score_model(const OracleCase& oracle,
+                          const modeling::PerformanceModel& fitted) {
+    ModelAccuracy out;
+
+    // Exponent recovery: dominant growth must match in every parameter.
+    out.exact_recovery = true;
+    for (std::size_t d = 0; d < oracle.num_params(); ++d) {
+        if (fitted.dominant_growth(static_cast<int>(d)) !=
+            oracle.truth.dominant_growth(static_cast<int>(d))) {
+            out.exact_recovery = false;
+        }
+    }
+
+    // In-range SMAPE on a dense grid against the noiseless truth.
+    const int per_dim = oracle.num_params() == 1 ? 33 : 9;
+    const auto grid = dense_grid(oracle.points, per_dim);
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    predicted.reserve(grid.size());
+    actual.reserve(grid.size());
+    for (const auto& p : grid) {
+        predicted.push_back(fitted.evaluate(p));
+        actual.push_back(oracle.truth.evaluate(p));
+    }
+    out.smape_in_range = stats::smape(predicted, actual);
+
+    // Extrapolation error at 2x/4x/8x the largest primary value, other
+    // parameters held at their grid maximum (the paper's P+ methodology).
+    std::vector<double> max_point = oracle.points.front();
+    for (const auto& p : oracle.points) {
+        for (std::size_t d = 0; d < p.size(); ++d) {
+            max_point[d] = std::max(max_point[d], p[d]);
+        }
+    }
+    for (int i = 0; i < 3; ++i) {
+        std::vector<double> p = max_point;
+        p[0] *= static_cast<double>(2 << i);
+        out.extrap_error[i] =
+            stats::percent_error(fitted.evaluate(p), oracle.truth.evaluate(p));
+    }
+    return out;
+}
+
 CaseScore score_case(const OracleCase& oracle, const ScoreOptions& options) {
     const obs::Span case_span{"eval.score_case"};
     if (oracle.points.empty()) {
@@ -273,41 +316,22 @@ CaseScore score_case(const OracleCase& oracle, const ScoreOptions& options) {
         std::max(score.fit_seconds, 1e-9);
     score.fitted_str = fitted.to_string();
 
-    // (4) Exponent recovery: dominant growth must match in every parameter.
-    score.exact_recovery = true;
-    for (std::size_t d = 0; d < oracle.num_params(); ++d) {
-        if (fitted.dominant_growth(static_cast<int>(d)) !=
-            oracle.truth.dominant_growth(static_cast<int>(d))) {
-            score.exact_recovery = false;
-        }
+    // (4-6) Exponent recovery, dense-grid SMAPE and extrapolation error -
+    // the deterministic truth-referenced metrics shared with the planner.
+    const ModelAccuracy accuracy = score_model(oracle, fitted);
+    score.exact_recovery = accuracy.exact_recovery;
+    score.smape_in_range = accuracy.smape_in_range;
+    for (int i = 0; i < 3; ++i) {
+        score.extrap_error[i] = accuracy.extrap_error[i];
     }
 
-    // (5) In-range SMAPE on a dense grid against the noiseless truth.
     const int per_dim = oracle.num_params() == 1 ? 33 : 9;
     const auto grid = dense_grid(oracle.points, per_dim);
-    std::vector<double> predicted;
-    std::vector<double> actual;
-    predicted.reserve(grid.size());
-    actual.reserve(grid.size());
-    for (const auto& p : grid) {
-        predicted.push_back(fitted.evaluate(p));
-        actual.push_back(oracle.truth.evaluate(p));
-    }
-    score.smape_in_range = stats::smape(predicted, actual);
-
-    // (6) Extrapolation error at 2x/4x/8x the largest primary value, other
-    // parameters held at their grid maximum (the paper's P+ methodology).
     std::vector<double> max_point = oracle.points.front();
     for (const auto& p : oracle.points) {
         for (std::size_t d = 0; d < p.size(); ++d) {
             max_point[d] = std::max(max_point[d], p[d]);
         }
-    }
-    for (int i = 0; i < 3; ++i) {
-        std::vector<double> p = max_point;
-        p[0] *= static_cast<double>(2 << i);
-        score.extrap_error[i] =
-            stats::percent_error(fitted.evaluate(p), oracle.truth.evaluate(p));
     }
 
     // (7) Prediction-interval coverage against fresh aggregated

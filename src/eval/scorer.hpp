@@ -62,6 +62,21 @@ struct CaseScore {
     std::size_t runs_kept = 0;
 };
 
+/// Truth-referenced accuracy of an already-fitted model: the deterministic
+/// subset of CaseScore that needs no fresh observations. Shared by
+/// score_case and the adaptive planner's report so "reaches the
+/// eval-harness thresholds" means the same metric definitions in both
+/// harnesses.
+struct ModelAccuracy {
+    /// Dominant (poly, log) exponents match the truth in every parameter.
+    bool exact_recovery = false;
+    double smape_in_range = 0.0;  ///< fitted vs truth on the dense grid [%]
+    double extrap_error[3] = {};  ///< percent error at 2x/4x/8x
+};
+
+ModelAccuracy score_model(const OracleCase& oracle,
+                          const modeling::PerformanceModel& fitted);
+
 /// Scores one oracle case end to end: materialise -> write EDP files ->
 /// ingest (parse + validate + aggregate) -> ModelGenerator -> analysis,
 /// then compares the recovered model against the known truth. Throws Error

@@ -72,6 +72,17 @@ modeling::PredictionInterval EpochModel::predict_interval(
     return out;
 }
 
+double EpochModel::interval_half_width(double x1, double confidence) const {
+    if (!steps_) {
+        throw InvalidArgumentError("EpochModel: uninitialised model");
+    }
+    const parallel::StepMath sm = steps_(static_cast<int>(std::llround(x1)));
+    return static_cast<double>(sm.train_steps) *
+               train_step_.interval_half_width(x1, confidence) +
+           static_cast<double>(sm.val_steps) *
+               val_step_.interval_half_width(x1, confidence);
+}
+
 std::string EpochModel::to_string() const {
     std::ostringstream os;
     os << "n_t(x1) * [" << train_step_.to_string() << "] + n_v(x1) * ["

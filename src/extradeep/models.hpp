@@ -48,6 +48,11 @@ public:
     modeling::PredictionInterval predict_interval(double x1,
                                                   double confidence = 0.95) const;
 
+    /// Half-width of predict_interval at x1: the per-step half-widths
+    /// scaled by n_t / n_v. Drives the serve `plan` verb's acquisition
+    /// scores (which configuration is the model least certain about).
+    double interval_half_width(double x1, double confidence = 0.95) const;
+
     /// Rendering, e.g. "n_t(x1) * [0.4 + 0.08 * log2(x1)] + n_v(x1) * [...]".
     std::string to_string() const;
 

@@ -118,14 +118,9 @@ void PerformanceModel::set_fit_info(linalg::Matrix cov_unscaled,
     has_fit_info_ = cov_unscaled_.rows() == terms_.size() + 1 && dof_ >= 1;
 }
 
-PredictionInterval PerformanceModel::predict_interval(
-    std::span<const double> point, double confidence) const {
-    PredictionInterval out;
-    out.prediction = evaluate(point);
-    out.lower = out.prediction;
-    out.upper = out.prediction;
+double PerformanceModel::prediction_stddev(std::span<const double> point) const {
     if (!has_fit_info_) {
-        return out;
+        return 0.0;
     }
     // Basis vector b0 = (1, basis_1(x), ..., basis_k(x)).
     const std::size_t k = terms_.size() + 1;
@@ -139,10 +134,56 @@ PredictionInterval PerformanceModel::predict_interval(
             quad += b0[r] * cov_unscaled_(r, c) * b0[c];
         }
     }
-    const double se = std::sqrt(residual_variance_ * (1.0 + std::max(0.0, quad)));
+    return std::sqrt(residual_variance_ * (1.0 + std::max(0.0, quad)));
+}
+
+double PerformanceModel::prediction_stddev(double x) const {
+    return prediction_stddev(std::span<const double>(&x, 1));
+}
+
+double PerformanceModel::interval_half_width(std::span<const double> point,
+                                             double confidence) const {
+    if (!has_fit_info_) {
+        return 0.0;
+    }
+    const double se = prediction_stddev(point);
     const double tcrit = stats::student_t_critical(confidence, dof_);
-    out.lower = out.prediction - tcrit * se;
-    out.upper = out.prediction + tcrit * se;
+    return tcrit * se;
+}
+
+double PerformanceModel::interval_half_width(double x, double confidence) const {
+    return interval_half_width(std::span<const double>(&x, 1), confidence);
+}
+
+linalg::Matrix PerformanceModel::coefficient_covariance() const {
+    if (!has_fit_info_) {
+        return linalg::Matrix();
+    }
+    const std::size_t k = terms_.size() + 1;
+    linalg::Matrix cov(k, k);
+    for (std::size_t r = 0; r < k; ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+            cov(r, c) = residual_variance_ * cov_unscaled_(r, c);
+        }
+    }
+    return cov;
+}
+
+PredictionInterval PerformanceModel::predict_interval(
+    std::span<const double> point, double confidence) const {
+    PredictionInterval out;
+    out.prediction = evaluate(point);
+    out.lower = out.prediction;
+    out.upper = out.prediction;
+    if (!has_fit_info_) {
+        return out;
+    }
+    // tcrit * se is computed in the same operation order as the historical
+    // inline implementation, so persisted models keep reproducing intervals
+    // bit-for-bit (the .edpm round-trip tests rely on it).
+    const double half = interval_half_width(point, confidence);
+    out.lower = out.prediction - half;
+    out.upper = out.prediction + half;
     return out;
 }
 

@@ -81,6 +81,27 @@ public:
     PredictionInterval predict_interval(double x,
                                         double confidence = 0.95) const;
 
+    /// Standard error of a *new observation* at `point`:
+    /// s * sqrt(1 + b0' (X'X)^-1 b0) - the quantity predict_interval scales
+    /// by the Student-t critical value. Returns 0 for models without fit
+    /// info (degenerate fits: exact interpolation with n == k leaves dof <
+    /// 1) and for zero-variance data (residual variance 0).
+    double prediction_stddev(std::span<const double> point) const;
+    double prediction_stddev(double x) const;
+
+    /// Half-width of the two-sided prediction interval at `point`:
+    /// t*(confidence, dof) * prediction_stddev. This is the adaptive
+    /// planner's acquisition score; bit-identical to (upper - prediction)
+    /// of predict_interval at the same point and confidence.
+    double interval_half_width(std::span<const double> point,
+                               double confidence = 0.95) const;
+    double interval_half_width(double x, double confidence = 0.95) const;
+
+    /// Scaled coefficient covariance s^2 (X'X)^-1 (row/col 0 is the
+    /// constant, then terms in order). Empty (0x0) matrix when the model
+    /// carries no fit info.
+    linalg::Matrix coefficient_covariance() const;
+
     /// Dominant asymptotic growth in parameter `param`: the (poly_exp,
     /// log_exp) pair of the fastest-growing term with a positive
     /// coefficient; (0, 0) for constant or decaying models.

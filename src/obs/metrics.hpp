@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/clock.hpp"
+
 namespace extradeep::obs {
 
 /// Metrics registry (ISSUE 5): named counters, gauges and fixed-bucket
@@ -129,5 +131,30 @@ private:
 /// The process-wide registry used by pipeline instrumentation and the
 /// EXTRADEEP_TRACE metrics sink.
 MetricsRegistry& global_metrics();
+
+/// RAII latency probe: records the elapsed time between construction and
+/// destruction, in microseconds, into a Histogram via an injectable Clock -
+/// the scoped analogue of the manual now_ns()/observe() pairs in the serve
+/// and planner hot paths. A null histogram disables the probe (and the
+/// clock is never read), so call sites can keep one unconditional scope.
+class ScopedLatencyTimer {
+public:
+    ScopedLatencyTimer(const Clock& clock, Histogram* histogram)
+        : clock_(clock), histogram_(histogram),
+          start_ns_(histogram ? clock.now_ns() : 0) {}
+    ~ScopedLatencyTimer() {
+        if (histogram_ != nullptr) {
+            histogram_->observe(
+                static_cast<double>(clock_.now_ns() - start_ns_) / 1000.0);
+        }
+    }
+    ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+    ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+private:
+    const Clock& clock_;
+    Histogram* histogram_;
+    std::uint64_t start_ns_;
+};
 
 }  // namespace extradeep::obs

@@ -1,0 +1,263 @@
+// extradeep-plan: the adaptive profiling planner.
+//
+// Treats the oracle suite's candidate configurations as arms and races
+// them: seed every arm with one profiled run, fit, then keep profiling the
+// configuration whose prediction is least certain until every arm settles
+// below the confidence target or the budget runs out. Emits a human table,
+// the machine-readable BENCH_plan.json (schema extradeep-plan/1), and
+// optionally enforces plan_thresholds.json (the `plan_accuracy_gate`
+// ctest): the planner must reach the eval-harness recovery/extrapolation
+// thresholds with materially fewer profiled runs than the fixed 5-point
+// grid.
+//
+// Usage:
+//   extradeep-plan                        # full suite
+//   extradeep-plan --quick                # gate subset
+//   extradeep-plan --smoke                # ASan-reduced subset
+//   extradeep-plan --case linear --noise 0,0.05 --seed 7
+//   extradeep-plan --out BENCH_plan.json
+//   extradeep-plan --thresholds plan_thresholds.json   # exit 1 on violation
+//   extradeep-plan --list
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "eval/oracle.hpp"
+#include "obs/session.hpp"
+#include "planner/report.hpp"
+
+using namespace extradeep;
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--quick] [--smoke] [--case NAME]... [--noise S1,S2,...]\n"
+        "          [--seed N] [--threads N] [--budget N] [--max-pulls N]\n"
+        "          [--target-rel-width W] [--out FILE] [--thresholds FILE]\n"
+        "          [--list] [--trace SPEC]\n",
+        argv0);
+}
+
+std::vector<double> parse_noise_list(const std::string& arg) {
+    std::vector<double> out;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::string token =
+            arg.substr(pos, comma == std::string::npos ? std::string::npos
+                                                       : comma - pos);
+        if (token.empty()) {
+            throw InvalidArgumentError("--noise: empty entry in '" + arg + "'");
+        }
+        std::size_t used = 0;
+        const double v = std::stod(token, &used);
+        if (used != token.size() || v < 0.0) {
+            throw InvalidArgumentError("--noise: bad sigma '" + token + "'");
+        }
+        out.push_back(v);
+        if (comma == std::string::npos) {
+            break;
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Best-effort git revision for the BENCH_plan.json trajectory.
+std::string git_revision() {
+    std::string rev = "unknown";
+    if (FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64] = {};
+        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+            std::string s(buf);
+            while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) {
+                s.pop_back();
+            }
+            if (!s.empty()) {
+                rev = s;
+            }
+        }
+        pclose(p);
+    }
+    return rev;
+}
+
+/// The ASan-reduced smoke subset: two representative single-parameter
+/// shapes (exact polynomial, polylogarithmic). Thresholds are written
+/// against wildcard-case rules so the same plan_thresholds.json gates
+/// every subset.
+std::vector<eval::OracleCase> smoke_cases() {
+    std::vector<eval::OracleCase> out;
+    for (auto& c : eval::default_oracle_cases()) {
+        if (c.name == "linear" || c.name == "xlogx") {
+            out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool smoke = false;
+    bool list = false;
+    std::vector<std::string> only_cases;
+    std::vector<double> noise_levels;
+    std::string out_path;
+    std::string thresholds_path;
+    std::string trace_spec;
+    bool trace_given = false;
+    std::uint64_t seed = 1;
+    planner::PlanOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                throw InvalidArgumentError(std::string(flag) +
+                                           " requires a value");
+            }
+            return argv[++i];
+        };
+        try {
+            if (arg == "--quick") {
+                quick = true;
+            } else if (arg == "--smoke") {
+                smoke = true;
+            } else if (arg == "--list") {
+                list = true;
+            } else if (arg == "--case") {
+                only_cases.push_back(next_value("--case"));
+            } else if (arg == "--noise") {
+                noise_levels = parse_noise_list(next_value("--noise"));
+            } else if (arg == "--seed") {
+                seed = std::stoull(next_value("--seed"));
+            } else if (arg == "--threads") {
+                options.num_threads = std::stoi(next_value("--threads"));
+            } else if (arg == "--budget") {
+                options.budget = std::stoi(next_value("--budget"));
+            } else if (arg == "--max-pulls") {
+                options.max_pulls_per_arm =
+                    std::stoi(next_value("--max-pulls"));
+            } else if (arg == "--target-rel-width") {
+                options.target_rel_width =
+                    std::stod(next_value("--target-rel-width"));
+            } else if (arg == "--out") {
+                out_path = next_value("--out");
+            } else if (arg == "--thresholds") {
+                thresholds_path = next_value("--thresholds");
+            } else if (arg == "--trace") {
+                trace_spec = next_value("--trace");
+                trace_given = true;
+            } else if (arg == "-h" || arg == "--help") {
+                usage(argv[0]);
+                return 0;
+            } else {
+                std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+                usage(argv[0]);
+                return 2;
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    try {
+        obs::ObsConfig obs_config = trace_given
+                                        ? obs::parse_obs_config(trace_spec)
+                                        : obs::obs_config_from_env();
+        const bool default_x1 =
+            obs_config.params.find("x1") == obs_config.params.end();
+        obs::ObsSession session(std::move(obs_config));
+        if (session.config().enabled && default_x1) {
+            session.set_param("x1", static_cast<double>(options.num_threads));
+        }
+
+        std::vector<eval::OracleCase> cases =
+            smoke   ? smoke_cases()
+            : quick ? eval::quick_oracle_cases()
+                    : eval::default_oracle_cases();
+        if (!only_cases.empty()) {
+            std::vector<eval::OracleCase> filtered;
+            for (auto& c : eval::default_oracle_cases()) {
+                for (const auto& want : only_cases) {
+                    if (c.name == want) {
+                        filtered.push_back(std::move(c));
+                        break;
+                    }
+                }
+            }
+            if (filtered.size() != only_cases.size()) {
+                std::fprintf(stderr, "error: unknown case name in --case\n");
+                return 2;
+            }
+            cases = std::move(filtered);
+        }
+        if (list) {
+            for (const auto& c : cases) {
+                std::printf("%-18s %zu params, %zu points: %s\n",
+                            c.name.c_str(), c.num_params(), c.points.size(),
+                            c.truth.to_string().c_str());
+            }
+            return 0;
+        }
+        if (noise_levels.empty()) {
+            noise_levels = (quick || smoke)
+                               ? std::vector<double>{0.0, 0.05}
+                               : std::vector<double>{0.0, 0.02, 0.05, 0.10};
+        }
+
+        const std::vector<planner::PlanCaseReport> reports =
+            planner::plan_suite(cases, noise_levels, seed, options);
+        std::printf("%s\n", planner::render_table(reports).c_str());
+        for (const auto& r : reports) {
+            if (!r.accuracy.exact_recovery) {
+                std::printf("note: %s @ noise %.3f fitted [%s], truth [%s]\n",
+                            r.case_name.c_str(), r.noise,
+                            r.fitted_str.c_str(), r.truth_str.c_str());
+            }
+        }
+
+        const std::vector<eval::MetricRecord> records =
+            planner::to_records(reports);
+        if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::fprintf(stderr, "error: cannot write %s\n",
+                             out_path.c_str());
+                return 2;
+            }
+            out << planner::plan_json(reports, git_revision());
+            std::printf("wrote %zu plans (%zu records) to %s\n",
+                        reports.size(), records.size(), out_path.c_str());
+        }
+
+        if (!thresholds_path.empty()) {
+            const eval::GateResult gate =
+                planner::check_plan_gate_file(records, thresholds_path);
+            std::printf("gate: %zu rules, %zu records matched\n",
+                        gate.rules_checked, gate.records_matched);
+            if (!gate.pass) {
+                for (const auto& v : gate.violations) {
+                    std::fprintf(stderr, "GATE VIOLATION: %s\n", v.c_str());
+                }
+                std::fprintf(stderr, "plan gate FAILED (%zu violations)\n",
+                             gate.violations.size());
+                return 1;
+            }
+            std::printf("plan gate passed\n");
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

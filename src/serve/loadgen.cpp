@@ -4,14 +4,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <deque>
 #include <exception>
+#include <iterator>
 #include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/gate.hpp"
 #include "common/json.hpp"
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
@@ -294,57 +297,67 @@ std::string load_report_json(const LoadGenOptions& options, int threads,
 std::vector<std::string> check_load_thresholds(
     const std::string& thresholds_json,
     const std::vector<LoadGenRecord>& records) {
-    std::vector<std::string> violations;
-    const json::Value doc =
-        json::parse(thresholds_json, "serve thresholds JSON");
-    const json::Value* rules = doc.find("rules");
-    if (rules == nullptr || rules->kind != json::Value::Kind::Array) {
-        throw ParseError("serve thresholds JSON: missing \"rules\" array");
+    gate::RuleDocSpec spec;
+    spec.what = "serve thresholds JSON";
+    spec.array_key = "rules";
+    spec.scope_key = "mode";
+    spec.parse_noise = false;   // load rules have no noise dimension
+    spec.require_bound = false; // informational rules may carry no bound
+    spec.allow_empty = true;
+    const std::vector<gate::Rule> rules =
+        gate::parse_rules(thresholds_json, spec);
+
+    // Flatten every (mode, known metric) pair into gate samples once; a rule
+    // naming an unknown metric is reported as its own violation when at
+    // least one record matches its mode (and as an unmatched rule when none
+    // does), matching the historical loadgen gate behaviour.
+    std::vector<gate::Sample> samples;
+    samples.reserve(records.size() * std::size(kRecordMetrics));
+    for (const LoadGenRecord& record : records) {
+        for (const char* metric : kRecordMetrics) {
+            bool known = false;
+            const double value = metric_value(record.result, metric, known);
+            samples.push_back({record.mode, -1.0, metric, value});
+        }
     }
-    for (const json::Value& rule : rules->array) {
-        const json::Value* metric = rule.find("metric");
-        if (metric == nullptr ||
-            metric->kind != json::Value::Kind::String) {
-            throw ParseError(
-                "serve thresholds JSON: rule without a \"metric\" string");
+
+    std::vector<std::string> violations;
+    for (const gate::Rule& rule : rules) {
+        bool known_metric = false;
+        for (const char* metric : kRecordMetrics) {
+            known_metric = known_metric || rule.metric == metric;
         }
-        std::string mode = "*";
-        if (const json::Value* m = rule.find("mode"); m != nullptr) {
-            mode = m->string;
+        if (!known_metric) {
+            const bool mode_present =
+                rule.scope == "*" ||
+                std::any_of(records.begin(), records.end(),
+                            [&](const LoadGenRecord& r) {
+                                return r.mode == rule.scope;
+                            });
+            if (mode_present && !records.empty()) {
+                violations.push_back("rule references unknown metric '" +
+                                     rule.metric + "'");
+            } else {
+                violations.push_back("rule for " + rule.scope + "/" +
+                                     rule.metric +
+                                     " matched no measurement record");
+            }
+            continue;
         }
-        const json::Value* min = rule.find("min");
-        const json::Value* max = rule.find("max");
-        bool matched = false;
-        for (const LoadGenRecord& record : records) {
-            if (mode != "*" && mode != record.mode) {
+        const gate::Outcome outcome = gate::check_rules(samples, {rule});
+        for (const gate::Violation& v : outcome.violations) {
+            if (v.kind == gate::Violation::Kind::Unmatched) {
+                violations.push_back("rule for " + rule.scope + "/" +
+                                     rule.metric +
+                                     " matched no measurement record");
                 continue;
             }
-            bool known = false;
-            const double value =
-                metric_value(record.result, metric->string, known);
-            if (!known) {
-                violations.push_back("rule references unknown metric '" +
-                                     metric->string + "'");
-                matched = true;
-                break;
-            }
-            matched = true;
-            if (min != nullptr && value < min->number) {
-                violations.push_back(
-                    record.mode + "/" + metric->string + " = " +
-                    json::number(value) + " below min " +
-                    json::number(min->number));
-            }
-            if (max != nullptr && value > max->number) {
-                violations.push_back(
-                    record.mode + "/" + metric->string + " = " +
-                    json::number(value) + " above max " +
-                    json::number(max->number));
-            }
-        }
-        if (!matched) {
-            violations.push_back("rule for " + mode + "/" + metric->string +
-                                 " matched no measurement record");
+            const gate::Sample& s = samples[v.sample];
+            violations.push_back(
+                s.scope + "/" + s.metric + " = " + json::number(s.value) +
+                (v.kind == gate::Violation::Kind::BelowMin ? " below min "
+                                                           : " above max ") +
+                json::number(v.bound));
         }
     }
     return violations;

@@ -281,6 +281,44 @@ std::string do_advise(const ServableModel& model,
     return os.str();
 }
 
+/// Acquisition view of the adaptive planner (src/planner): score each
+/// candidate rank count by the served model's relative prediction-interval
+/// half-width and recommend profiling the least certain one next. Ties
+/// break toward the earliest candidate, mirroring run_plan's argmax.
+std::string do_plan(const ServableModel& model,
+                    const std::vector<std::string>& args) {
+    if (args.empty()) {
+        throw InvalidArgumentError("usage: plan <model> <x1> [<x> ...]");
+    }
+    std::vector<double> xs;
+    xs.reserve(args.size());
+    for (const auto& a : args) {
+        xs.push_back(arg_positive(a, "candidate rank count"));
+    }
+    std::size_t next = 0;
+    double best = -1.0;
+    std::vector<double> widths;
+    widths.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double half = model.epoch_time.interval_half_width(xs[i]);
+        const double scale =
+            std::max(std::abs(model.epoch_time.evaluate(xs[i])), 1e-12);
+        const double rel = half / scale;
+        widths.push_back(rel);
+        if (rel > best) {
+            best = rel;
+            next = i;
+        }
+    }
+    std::ostringstream os;
+    os << "ok next=" << fmt::shortest(xs[next])
+       << " rw=" << fmt::shortest(widths[next]) << " n=" << xs.size();
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        os << ' ' << fmt::shortest(xs[i]) << '=' << fmt::shortest(widths[i]);
+    }
+    return os.str();
+}
+
 }  // namespace
 
 std::string_view query_kind_name(QueryKind kind) {
@@ -299,6 +337,7 @@ std::string_view query_kind_name(QueryKind kind) {
         case QueryKind::Reload: return "reload";
         case QueryKind::Ingest: return "ingest";
         case QueryKind::FleetStats: return "fleet_stats";
+        case QueryKind::Plan: return "plan";
         case QueryKind::Other: return "other";
     }
     throw InvalidArgumentError("query_kind_name: unknown kind");
@@ -490,7 +529,7 @@ std::string QueryEngine::dispatch(const std::string& request,
     }
     if (cmd == "predict" || cmd == "speedup" || cmd == "efficiency" ||
         cmd == "cost" || cmd == "search" || cmd == "whatif" ||
-        cmd == "advise") {
+        cmd == "advise" || cmd == "plan") {
         // Attribute the request to its kind before anything can throw, so
         // errors (unknown model, bad arguments) are counted under the right
         // bucket rather than under `other`.
@@ -500,6 +539,7 @@ std::string QueryEngine::dispatch(const std::string& request,
                : cmd == "cost"       ? QueryKind::Cost
                : cmd == "whatif"     ? QueryKind::Whatif
                : cmd == "advise"     ? QueryKind::Advise
+               : cmd == "plan"       ? QueryKind::Plan
                                      : QueryKind::Search;
         if (args.empty()) {
             throw InvalidArgumentError("usage: " + cmd + " <model> ...");
@@ -519,6 +559,8 @@ std::string QueryEngine::dispatch(const std::string& request,
                 return do_whatif(*model, rest);
             case QueryKind::Advise:
                 return do_advise(*model, rest);
+            case QueryKind::Plan:
+                return do_plan(*model, rest);
             default:
                 return do_search(*model, rest);
         }

@@ -29,10 +29,11 @@ enum class QueryKind {
     Reload,
     Ingest,
     FleetStats,
+    Plan,
     Other,
 };
 
-inline constexpr int kQueryKindCount = 15;
+inline constexpr int kQueryKindCount = 16;
 
 std::string_view query_kind_name(QueryKind kind);
 
@@ -102,6 +103,10 @@ public:
 ///              e.g. `whatif m 16 interconnect:2+overlap:0.5`; see
 ///              advisor::parse_scenario for the transform grammar)
 ///   advise     <model> <x> [top]       (ranked what-if portfolio, top N)
+///   plan       <model> <x1> [<x> ...]  (adaptive-profiling acquisition: rank
+///              candidate rank counts by the served model's relative
+///              prediction-interval width and name the one to profile next;
+///              the serve-side view of the extradeep-plan racing loop)
 ///   ingest     <experiment> <payload>  (push one EDP run into the fleet
 ///              loop; payload = escape_lines(EDP bytes), taken verbatim to
 ///              end of line. Requires an attached FleetHandler.)

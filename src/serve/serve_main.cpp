@@ -14,7 +14,8 @@
 //
 // REQUEST lines follow the grammar in serve/query.hpp: predict, speedup,
 // efficiency, cost, search, whatif (scenario evaluation), advise (ranked
-// what-if portfolio), list, stats, metrics, ping, reload.
+// what-if portfolio), plan (adaptive-profiling acquisition), list, stats,
+// metrics, ping, reload.
 //
 // Usage:
 //   extradeep-serve fit --out model.edpm [--name NAME] [--dataset D]
@@ -67,7 +68,7 @@ void usage(const char* argv0) {
                  "               [--out FILE] [--thresholds FILE] "
                  "[REQUEST...]\n"
                  "REQUEST verbs: predict speedup efficiency cost search "
-                 "whatif advise\n"
+                 "whatif advise plan\n"
                  "               list stats metrics ping reload shutdown\n"
                  "               ingest fleet-stats (extradeep-fleet serve "
                  "only)\n",

@@ -252,6 +252,80 @@ TEST(Fitter, PredictionIntervalWidensWithExtrapolation) {
     EXPECT_GT(far.upper - far.lower, near.upper - near.lower);
 }
 
+// --- Uncertainty API: prediction_stddev / interval_half_width /
+// coefficient_covariance, including the degenerate fits the adaptive
+// planner must survive (no fit info, zero residual variance). ---
+
+TEST(Uncertainty, HandConstructedModelHasCollapsedIntervals) {
+    // A model built from truth terms (the oracle pattern) carries no OLS
+    // fit information: every uncertainty quantity must degrade to zero
+    // rather than throw or emit garbage.
+    const PerformanceModel m(10.0, {}, {"x1"});
+    EXPECT_DOUBLE_EQ(m.prediction_stddev(16.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.interval_half_width(16.0), 0.0);
+    EXPECT_EQ(m.coefficient_covariance().rows(), 0u);
+    const auto pi = m.predict_interval(16.0);
+    EXPECT_DOUBLE_EQ(pi.lower, pi.prediction);
+    EXPECT_DOUBLE_EQ(pi.upper, pi.prediction);
+}
+
+TEST(Uncertainty, ZeroVarianceFitHasZeroWidth) {
+    // Exact data: residual variance is zero, so the interval collapses even
+    // though the fit info (covariance, dof) is present.
+    const auto ys = map_values(kXs, [](double x) { return 3.0 * x + 1.0; });
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    EXPECT_NEAR(m.prediction_stddev(16.0), 0.0, 1e-9);
+    EXPECT_NEAR(m.interval_half_width(512.0), 0.0, 1e-6);
+}
+
+TEST(Uncertainty, PredictIntervalIsPredictionPlusMinusHalfWidth) {
+    Rng rng(17);
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back((10.0 + 3.0 * x) * rng.lognormal_factor(0.05));
+    }
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    for (const double x : {4.0, 16.0, 256.0}) {
+        for (const double conf : {0.8, 0.95, 0.99}) {
+            const auto pi = m.predict_interval(x, conf);
+            const double half = m.interval_half_width(x, conf);
+            // Bit-for-bit: predict_interval is defined as +- half width.
+            EXPECT_EQ(pi.lower, pi.prediction - half);
+            EXPECT_EQ(pi.upper, pi.prediction + half);
+            EXPECT_GT(half, 0.0);
+        }
+        // Wider confidence, wider interval.
+        EXPECT_LT(m.interval_half_width(x, 0.8),
+                  m.interval_half_width(x, 0.99));
+    }
+    // The half width is Student-t scaled prediction stddev.
+    EXPECT_GT(m.prediction_stddev(16.0), 0.0);
+    EXPECT_NEAR(m.interval_half_width(16.0, 0.95) /
+                    m.prediction_stddev(16.0),
+                m.interval_half_width(256.0, 0.95) /
+                    m.prediction_stddev(256.0),
+                1e-9);
+}
+
+TEST(Uncertainty, CoefficientCovarianceIsSymmetricKxK) {
+    Rng rng(23);
+    std::vector<double> ys;
+    for (const double x : kXs) {
+        ys.push_back((4.0 + 0.5 * x) * rng.lognormal_factor(0.05));
+    }
+    const PerformanceModel m = ModelGenerator().fit(kXs, ys);
+    const auto cov = m.coefficient_covariance();
+    const std::size_t k = m.terms().size() + 1;  // constant + terms
+    ASSERT_EQ(cov.rows(), k);
+    ASSERT_EQ(cov.cols(), k);
+    for (std::size_t r = 0; r < k; ++r) {
+        EXPECT_GE(cov(r, r), 0.0);  // variances on the diagonal
+        for (std::size_t c = 0; c < k; ++c) {
+            EXPECT_NEAR(cov(r, c), cov(c, r), 1e-12);
+        }
+    }
+}
+
 TEST(Fitter, MultiParameterAdditiveRecovery) {
     // f(x, y) = 5 + 2x + 3*log2(y) on a 5x5 grid.
     std::vector<std::vector<double>> pts;
